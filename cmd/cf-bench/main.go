@@ -1,0 +1,89 @@
+// Command cf-bench regenerates the paper's tables and figures on the
+// simulated substrate and prints them with shape checks.
+//
+// Usage:
+//
+//	cf-bench -exp fig2            # one experiment
+//	cf-bench -exp all             # everything (takes a while)
+//	cf-bench -exp tab1 -quick     # reduced scale
+//
+// Experiment ids: fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+// fig13 tab1 tab2 tab3 tab4 tab5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"cornflakes/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	quick := flag.Bool("quick", false, "reduced scale (faster, noisier)")
+	list := flag.Bool("list", false, "list experiment ids")
+	csvDir := flag.String("csv", "", "also write each report's table to <dir>/<id>.csv")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		ids := make([]string, 0, len(all))
+		for id := range all {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	sc := experiments.Full()
+	if *quick {
+		sc = experiments.Quick()
+	}
+
+	run := func(id string) bool {
+		fn, ok := all[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cf-bench: unknown experiment %q\n", id)
+			return false
+		}
+		start := time.Now()
+		rep := fn(sc)
+		fmt.Println(rep)
+		fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "cf-bench:", err)
+			} else if err := os.WriteFile(
+				filepath.Join(*csvDir, rep.ID+".csv"), []byte(rep.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "cf-bench:", err)
+			}
+		}
+		return len(rep.Failed()) == 0
+	}
+
+	okAll := true
+	if *exp == "all" {
+		ids := make([]string, 0, len(all))
+		for id := range all {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if !run(id) {
+				okAll = false
+			}
+		}
+	} else {
+		okAll = run(*exp)
+	}
+	if !okAll {
+		os.Exit(1)
+	}
+}

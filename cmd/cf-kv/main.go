@@ -1,0 +1,124 @@
+// Command cf-kv runs the custom key-value store on the simulated testbed
+// with a chosen serialization system and workload, and prints the measured
+// throughput and latency distribution.
+//
+// Usage:
+//
+//	cf-kv -system cornflakes -workload twitter -rate 400000 -ms 20
+//	cf-kv -system protobuf -workload ycsb -threshold 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cornflakes/internal/core"
+	"cornflakes/internal/driver"
+	"cornflakes/internal/loadgen"
+	"cornflakes/internal/nic"
+	"cornflakes/internal/sim"
+	"cornflakes/internal/workloads"
+)
+
+func main() {
+	system := flag.String("system", "cornflakes", "cornflakes | protobuf | flatbuffers | capnproto")
+	workload := flag.String("workload", "twitter", "ycsb | google | twitter | cdn")
+	rate := flag.Float64("rate", 400_000, "offered load, requests/s")
+	ms := flag.Int("ms", 20, "measurement window, simulated milliseconds")
+	keys := flag.Int("keys", 4000, "preloaded keys/objects")
+	threshold := flag.Int("threshold", core.DefaultThreshold, "zero-copy threshold in bytes (0 = always, -1 = never)")
+	nicName := flag.String("nic", "cx6", "cx5 | cx6 | e810")
+	flag.Parse()
+
+	sys, err := parseSystem(*system)
+	if err != nil {
+		fatal(err)
+	}
+	gen, err := parseWorkload(*workload, *keys)
+	if err != nil {
+		fatal(err)
+	}
+	profile, err := parseNIC(*nicName)
+	if err != nil {
+		fatal(err)
+	}
+
+	tb := driver.NewTestbed(profile)
+	srv := driver.NewKVServer(tb.Server, sys)
+	switch {
+	case *threshold < 0:
+		tb.Server.Ctx.Threshold = core.ThresholdAllCopy
+	default:
+		tb.Server.Ctx.Threshold = *threshold
+	}
+	fmt.Printf("preloading %d records (%s)...\n", len(gen.Records()), gen.Name())
+	srv.Preload(gen.Records())
+
+	res := loadgen.Run(loadgen.Config{
+		Eng: tb.Eng, EP: tb.Client.UDP,
+		Gen: gen, Client: driver.NewKVClient(tb.Client, sys),
+		RatePerS: *rate,
+		Warmup:   2 * sim.Millisecond,
+		Measure:  sim.Time(*ms) * sim.Millisecond,
+		Seed:     1,
+	})
+
+	fmt.Printf("\n%s on %s over %s\n", sys, gen.Name(), profile.Name)
+	fmt.Printf("  offered:    %10.0f req/s\n", res.OfferedRps)
+	fmt.Printf("  achieved:   %10.0f req/s (%.2f Gbps of responses)\n", res.AchievedRps, res.AchievedGbps)
+	fmt.Printf("  latency:    p50 %v   p99 %v   max %v\n",
+		res.Latency.Quantile(0.5), res.Latency.Quantile(0.99), res.Latency.Max())
+	fmt.Printf("  server:     %d requests handled, %d errors, core %.0f%% busy\n",
+		srv.Handled, srv.Errors, tb.Server.Core.Utilization()*100)
+	fmt.Printf("  zero-copy:  %d scatter-gather entries posted\n", tb.Server.UDP.TxZCEntries)
+	if res.BadResponses > 0 {
+		fmt.Printf("  WARNING: %d bad responses\n", res.BadResponses)
+	}
+}
+
+func parseSystem(s string) (driver.System, error) {
+	switch strings.ToLower(s) {
+	case "cornflakes", "cf":
+		return driver.SysCornflakes, nil
+	case "protobuf", "pb":
+		return driver.SysProtobuf, nil
+	case "flatbuffers", "fb":
+		return driver.SysFlatBuffers, nil
+	case "capnproto", "capnp", "cp":
+		return driver.SysCapnProto, nil
+	}
+	return 0, fmt.Errorf("unknown system %q", s)
+}
+
+func parseWorkload(w string, keys int) (workloads.Generator, error) {
+	switch strings.ToLower(w) {
+	case "ycsb":
+		return workloads.NewYCSB(keys, 1024, 2), nil
+	case "google":
+		return workloads.NewGoogle(keys, 8, 1), nil
+	case "twitter":
+		return workloads.NewTwitter(keys, 1), nil
+	case "cdn":
+		return workloads.NewCDN(keys, 8000, 256<<10, 1), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", w)
+}
+
+func parseNIC(n string) (nic.Profile, error) {
+	switch strings.ToLower(n) {
+	case "cx5":
+		return nic.MellanoxCX5Ex(), nil
+	case "cx6":
+		return nic.MellanoxCX6(), nil
+	case "e810", "intel":
+		return nic.IntelE810(), nil
+	}
+	return nic.Profile{}, fmt.Errorf("unknown NIC %q", n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cf-kv:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Command cfc is the Cornflakes schema compiler: it reads a Protobuf-subset
+// schema file and emits Go source with a runtime schema plus typed
+// getter/setter wrappers per message (the equivalent of the paper's Rust
+// code generation module, §4).
+//
+// Usage:
+//
+//	cfc -in schema.proto -out messages.gen.go -pkg msgs
+//
+// With -out omitted, the generated source is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/format"
+	"os"
+
+	"cornflakes/internal/schema"
+)
+
+func main() {
+	in := flag.String("in", "", "input .proto schema file (required)")
+	out := flag.String("out", "", "output .go file (default stdout)")
+	pkg := flag.String("pkg", "msgs", "Go package name for generated code")
+	flag.Parse()
+
+	if err := run(*in, *out, *pkg); err != nil {
+		fmt.Fprintln(os.Stderr, "cfc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, pkg string) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	src, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	f, err := schema.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	code, err := schema.Generate(f, pkg)
+	if err != nil {
+		return err
+	}
+	formatted, err := format.Source([]byte(code))
+	if err != nil {
+		return fmt.Errorf("internal error: generated code does not parse: %w", err)
+	}
+	if out == "" {
+		_, err = os.Stdout.Write(formatted)
+		return err
+	}
+	return os.WriteFile(out, formatted, 0o644)
+}

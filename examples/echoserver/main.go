@@ -1,0 +1,63 @@
+// echoserver: the §2 motivation experiment. An echo server bounces a
+// two-field message back with each manual datapath (no serialization,
+// zero-copy scatter-gather, one copy, two copies) and with each library,
+// showing where serialization cycles go.
+//
+// Run with:
+//
+//	go run ./examples/echoserver
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"cornflakes/internal/driver"
+	"cornflakes/internal/loadgen"
+	"cornflakes/internal/nic"
+	"cornflakes/internal/sim"
+	"cornflakes/internal/workloads"
+)
+
+type nopGen struct{}
+
+func (nopGen) Name() string            { return "echo" }
+func (nopGen) Records() []workloads.KV { return nil }
+func (nopGen) Next(r *rand.Rand) workloads.Request {
+	return workloads.Request{}
+}
+
+func main() {
+	fmt.Println("Echo server, two 2048-byte fields (Figure 2 in miniature)")
+	fmt.Println()
+	arms := []struct {
+		name string
+		mode driver.EchoMode
+		sys  driver.System
+	}{
+		{"no serialization", driver.EchoNoSer, driver.SysCornflakes},
+		{"zero-copy", driver.EchoZeroCopy, driver.SysCornflakes},
+		{"one-copy", driver.EchoOneCopy, driver.SysCornflakes},
+		{"two-copy", driver.EchoTwoCopy, driver.SysCornflakes},
+		{"Cornflakes", driver.EchoLib, driver.SysCornflakes},
+		{"Protobuf", driver.EchoLib, driver.SysProtobuf},
+		{"FlatBuffers", driver.EchoLib, driver.SysFlatBuffers},
+		{"Cap'n Proto", driver.EchoLib, driver.SysCapnProto},
+	}
+	for _, a := range arms {
+		tb := driver.NewTestbed(nic.MellanoxCX6())
+		driver.NewEchoServer(tb.Server, a.mode, a.sys, 2048, 2)
+		client := &driver.EchoClient{Mode: a.mode, Sys: a.sys, N: tb.Client, FieldSize: 2048, NumFields: 2}
+		loadgen.Run(loadgen.Config{
+			Eng: tb.Eng, EP: tb.Client.UDP,
+			Gen: nopGen{}, Client: client,
+			RatePerS: 300_000,
+			Warmup:   2 * sim.Millisecond,
+			Measure:  10 * sim.Millisecond,
+			Seed:     3,
+		})
+		perReq := sim.Time(float64(tb.Server.Core.BusyTime) / float64(tb.Server.Core.JobsDone))
+		capGbps := 4104 * 8 / perReq.Nanoseconds()
+		fmt.Printf("  %-17s %8v per echo  →  ~%.0f Gbps single-core ceiling\n", a.name, perReq, capGbps)
+	}
+}

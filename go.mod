@@ -1,0 +1,3 @@
+module cornflakes
+
+go 1.24

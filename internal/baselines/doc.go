@@ -1,0 +1,179 @@
+// Package baselines implements the serialization libraries Cornflakes is
+// evaluated against (§6.1.3), from scratch:
+//
+//   - protolite: Protobuf-style tag/varint/length-delimited encoding with a
+//     size pass followed by a write pass. Its network datapath serializes
+//     directly into DMA-safe memory (one copy of field data).
+//   - fblite: FlatBuffers-style vtable format built into a single
+//     contiguous buffer (one copy), which the stack then copies into a DMA
+//     buffer (second copy).
+//   - capnplite: Cap'n Proto-style word-aligned segmented format (one copy
+//     into segments) which the stack gathers into a DMA buffer (second
+//     copy).
+//   - resp: the Redis serialization protocol, used by the mini-Redis
+//     integration.
+//
+// All encoders move real bytes and round-trip through real parsers; their
+// data movement and per-field encoding work is charged through the shared
+// cost model, which is what makes them honest baselines for Figures 2, 6–9
+// and Tables 1–3.
+package baselines
+
+import (
+	"bytes"
+	"fmt"
+
+	"cornflakes/internal/core"
+	"cornflakes/internal/mem"
+)
+
+// Doc is the library-independent logical message: the same document can be
+// serialized by every baseline and by Cornflakes, so experiments compare
+// identical data.
+type Doc struct {
+	Schema *core.Schema
+	F      []FV
+}
+
+// FV holds one field's value.
+type FV struct {
+	Set bool
+	I   uint64
+	// B holds bytes/string payloads: one element for scalar fields, n for
+	// repeated fields. Sim carries each payload's simulated address (0 →
+	// derived from the real address).
+	B   [][]byte
+	Sim []uint64
+	IL  []uint64
+	M   []*Doc
+}
+
+// NewDoc returns an empty document for the schema.
+func NewDoc(s *core.Schema) *Doc {
+	return &Doc{Schema: s, F: make([]FV, len(s.Fields))}
+}
+
+// SetInt sets an integer field.
+func (d *Doc) SetInt(i int, v uint64) {
+	d.F[i].Set = true
+	d.F[i].I = v
+}
+
+// SetBytes sets a scalar bytes/string field.
+func (d *Doc) SetBytes(i int, b []byte, sim uint64) {
+	d.F[i].Set = true
+	d.F[i].B = append(d.F[i].B[:0], b)
+	d.F[i].Sim = append(d.F[i].Sim[:0], simOr(b, sim))
+}
+
+// AddBytes appends to a repeated bytes/string field.
+func (d *Doc) AddBytes(i int, b []byte, sim uint64) {
+	d.F[i].Set = true
+	d.F[i].B = append(d.F[i].B, b)
+	d.F[i].Sim = append(d.F[i].Sim, simOr(b, sim))
+}
+
+// AddInt appends to a repeated integer field.
+func (d *Doc) AddInt(i int, v uint64) {
+	d.F[i].Set = true
+	d.F[i].IL = append(d.F[i].IL, v)
+}
+
+// SetNested sets a nested message field.
+func (d *Doc) SetNested(i int, sub *Doc) {
+	d.F[i].Set = true
+	d.F[i].M = append(d.F[i].M[:0], sub)
+}
+
+// AddNested appends to a repeated nested field.
+func (d *Doc) AddNested(i int, sub *Doc) {
+	d.F[i].Set = true
+	d.F[i].M = append(d.F[i].M, sub)
+}
+
+func simOr(b []byte, sim uint64) uint64 {
+	if sim != 0 {
+		return sim
+	}
+	return mem.UnpinnedSimAddr(b)
+}
+
+// Equal reports whether two documents carry identical data.
+func (d *Doc) Equal(o *Doc) bool {
+	if d == nil || o == nil {
+		return d == o
+	}
+	if d.Schema.Name != o.Schema.Name || len(d.F) != len(o.F) {
+		return false
+	}
+	for i := range d.F {
+		a, b := &d.F[i], &o.F[i]
+		if a.Set != b.Set {
+			return false
+		}
+		if !a.Set {
+			continue
+		}
+		switch d.Schema.Fields[i].Kind {
+		case core.KindInt:
+			if a.I != b.I {
+				return false
+			}
+		case core.KindBytes, core.KindString, core.KindBytesList, core.KindStringList:
+			if len(a.B) != len(b.B) {
+				return false
+			}
+			for j := range a.B {
+				if !bytes.Equal(a.B[j], b.B[j]) {
+					return false
+				}
+			}
+		case core.KindIntList:
+			if len(a.IL) != len(b.IL) {
+				return false
+			}
+			for j := range a.IL {
+				if a.IL[j] != b.IL[j] {
+					return false
+				}
+			}
+		case core.KindNested, core.KindNestedList:
+			if len(a.M) != len(b.M) {
+				return false
+			}
+			for j := range a.M {
+				if !a.M[j].Equal(b.M[j]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (d *Doc) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s{", d.Schema.Name)
+	for i := range d.F {
+		if !d.F[i].Set {
+			continue
+		}
+		f := d.Schema.Fields[i]
+		switch f.Kind {
+		case core.KindInt:
+			fmt.Fprintf(&b, "%s=%d ", f.Name, d.F[i].I)
+		case core.KindBytes, core.KindString:
+			fmt.Fprintf(&b, "%s=%q ", f.Name, d.F[i].B[0])
+		case core.KindBytesList, core.KindStringList:
+			fmt.Fprintf(&b, "%s=%d-elems ", f.Name, len(d.F[i].B))
+		case core.KindIntList:
+			fmt.Fprintf(&b, "%s=%v ", f.Name, d.F[i].IL)
+		case core.KindNested:
+			fmt.Fprintf(&b, "%s=%v ", f.Name, d.F[i].M[0])
+		case core.KindNestedList:
+			fmt.Fprintf(&b, "%s=%d-msgs ", f.Name, len(d.F[i].M))
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}

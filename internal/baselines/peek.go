@@ -1,0 +1,62 @@
+package baselines
+
+import "cornflakes/internal/wire"
+
+// The Peek helpers extract the id convention (field 0 / field number 1,
+// an integer, always set first) from each wire format without full
+// decoding. Load generators use them to match responses to requests.
+
+// ProtoPeekID reads the leading "field 1, varint" entry.
+func ProtoPeekID(data []byte) (uint64, bool) {
+	t, n := getVarint(data)
+	if n == 0 || t != tag(0, wireVarint) {
+		return 0, false
+	}
+	v, vn := getVarint(data[n:])
+	if vn == 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// FBPeekID walks root table → vtable → slot 0.
+func FBPeekID(data []byte) (uint64, bool) {
+	if len(data) < 4 {
+		return 0, false
+	}
+	tbl := int(wire.GetU32(data))
+	if tbl < 0 || tbl+4 > len(data) {
+		return 0, false
+	}
+	vt := int(wire.GetU32(data[tbl:]))
+	if vt < 0 || vt+4 > len(data) {
+		return 0, false
+	}
+	so := int(data[vt+2]) | int(data[vt+3])<<8
+	if so == 0xFFFF || tbl+so+8 > len(data) {
+		return 0, false
+	}
+	return wire.GetU64(data[tbl+so:]), true
+}
+
+// CapnpPeekID reads the root struct's presence word and first field word
+// from segment 0 of a framed message.
+func CapnpPeekID(data []byte) (uint64, bool) {
+	if len(data) < 8 {
+		return 0, false
+	}
+	nseg := int(wire.GetU32(data))
+	if nseg <= 0 || nseg > 1<<16 {
+		return 0, false
+	}
+	hdrLen := 4 + 4*nseg
+	if len(data) < hdrLen+16 {
+		return 0, false
+	}
+	seg0 := data[hdrLen:]
+	presence := wire.GetU64(seg0)
+	if presence&1 == 0 {
+		return 0, false
+	}
+	return wire.GetU64(seg0[8:]), true
+}

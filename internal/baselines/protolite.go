@@ -1,0 +1,256 @@
+package baselines
+
+import (
+	"fmt"
+
+	"cornflakes/internal/core"
+	"cornflakes/internal/costmodel"
+	"cornflakes/internal/mem"
+)
+
+// protolite implements the Protocol Buffers wire format: each field is a
+// varint tag (field number << 3 | wire type) followed by a varint scalar
+// (wire type 0) or a length-delimited payload (wire type 2). Field numbers
+// are schema index + 1. Repeated integers are packed; repeated
+// bytes/strings/messages repeat the tag. Like real Protobuf, serialization
+// is two passes: a recursive size pass, then a write pass.
+
+const (
+	wireVarint = 0
+	wireBytes  = 2
+)
+
+// varintLen returns the encoded size of v.
+func varintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// putVarint encodes v into dst and returns the byte count.
+func putVarint(dst []byte, v uint64) int {
+	i := 0
+	for v >= 0x80 {
+		dst[i] = byte(v) | 0x80
+		v >>= 7
+		i++
+	}
+	dst[i] = byte(v)
+	return i + 1
+}
+
+// getVarint decodes a varint, returning the value and byte count (0 on
+// truncation or overlong input).
+func getVarint(src []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(src) && i < 10; i++ {
+		v |= uint64(src[i]&0x7F) << (7 * i)
+		if src[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+func tag(fieldIdx, wt int) uint64 { return uint64(fieldIdx+1)<<3 | uint64(wt) }
+
+// ProtoSize computes the serialized size of d (the Protobuf size pass),
+// charging per-field bookkeeping.
+func ProtoSize(d *Doc, m *costmodel.Meter) int {
+	size := 0
+	for i := range d.F {
+		fv := &d.F[i]
+		if !fv.Set {
+			continue
+		}
+		m.Charge(m.CPU.PerFieldCy)
+		t := varintLen(tag(i, 0)) // tag size is wire-type independent here
+		switch d.Schema.Fields[i].Kind {
+		case core.KindInt:
+			size += t + varintLen(fv.I)
+		case core.KindBytes, core.KindString:
+			size += t + varintLen(uint64(len(fv.B[0]))) + len(fv.B[0])
+		case core.KindBytesList, core.KindStringList:
+			for _, b := range fv.B {
+				size += t + varintLen(uint64(len(b))) + len(b)
+			}
+		case core.KindIntList:
+			p := 0
+			for _, v := range fv.IL {
+				p += varintLen(v)
+			}
+			size += t + varintLen(uint64(p)) + p
+		case core.KindNested:
+			n := ProtoSize(fv.M[0], m)
+			size += t + varintLen(uint64(n)) + n
+		case core.KindNestedList:
+			for _, sub := range fv.M {
+				n := ProtoSize(sub, m)
+				size += t + varintLen(uint64(n)) + n
+			}
+		}
+	}
+	return size
+}
+
+// ProtoMarshal writes d into dst (which must have ProtoSize bytes),
+// charging varint work and data copies. dstSim is dst's simulated address.
+// It returns the bytes written.
+func ProtoMarshal(d *Doc, dst []byte, dstSim uint64, m *costmodel.Meter) int {
+	cur := 0
+	putV := func(v uint64) {
+		n := putVarint(dst[cur:], v)
+		m.Charge(float64(n) * m.CPU.VarintCyPerByte)
+		cur += n
+	}
+	for i := range d.F {
+		fv := &d.F[i]
+		if !fv.Set {
+			continue
+		}
+		m.Charge(m.CPU.PerFieldCy)
+		switch d.Schema.Fields[i].Kind {
+		case core.KindInt:
+			putV(tag(i, wireVarint))
+			putV(fv.I)
+		case core.KindBytes, core.KindString:
+			putV(tag(i, wireBytes))
+			putV(uint64(len(fv.B[0])))
+			m.Copy(fv.Sim[0], dstSim+uint64(cur), len(fv.B[0]))
+			cur += copy(dst[cur:], fv.B[0])
+		case core.KindBytesList, core.KindStringList:
+			for j, b := range fv.B {
+				putV(tag(i, wireBytes))
+				putV(uint64(len(b)))
+				m.Copy(fv.Sim[j], dstSim+uint64(cur), len(b))
+				cur += copy(dst[cur:], b)
+			}
+		case core.KindIntList:
+			putV(tag(i, wireBytes))
+			p := 0
+			for _, v := range fv.IL {
+				p += varintLen(v)
+			}
+			putV(uint64(p))
+			for _, v := range fv.IL {
+				putV(v)
+			}
+		case core.KindNested:
+			putV(tag(i, wireBytes))
+			sub := fv.M[0]
+			n := protoSizeQuiet(sub)
+			putV(uint64(n))
+			cur += ProtoMarshal(sub, dst[cur:], dstSim+uint64(cur), m)
+		case core.KindNestedList:
+			for _, sub := range fv.M {
+				putV(tag(i, wireBytes))
+				n := protoSizeQuiet(sub)
+				putV(uint64(n))
+				cur += ProtoMarshal(sub, dst[cur:], dstSim+uint64(cur), m)
+			}
+		}
+	}
+	return cur
+}
+
+// protoSizeQuiet is the size pass without metering, used inside the write
+// pass where sizes were already charged (real Protobuf caches sizes from
+// the first pass).
+func protoSizeQuiet(d *Doc) int {
+	noop := costmodel.NewMeter(costmodel.CPU{FreqGHz: 1}, nil)
+	return ProtoSize(d, noop)
+}
+
+// ProtoUnmarshal parses Protobuf bytes into a Doc. Like real Protobuf, it
+// materialises field data into freshly allocated memory (deserialization
+// copies) and validates string fields eagerly — costs Cornflakes avoids.
+func ProtoUnmarshal(schema *core.Schema, data []byte, srcSim uint64, m *costmodel.Meter) (*Doc, error) {
+	d := NewDoc(schema)
+	cur := 0
+	for cur < len(data) {
+		t, n := getVarint(data[cur:])
+		if n == 0 {
+			return nil, fmt.Errorf("protolite: truncated tag at %d", cur)
+		}
+		m.Charge(float64(n) * m.CPU.VarintCyPerByte)
+		cur += n
+		idx := int(t>>3) - 1
+		wt := int(t & 7)
+		if idx < 0 || idx >= len(schema.Fields) {
+			return nil, fmt.Errorf("protolite: unknown field number %d", idx+1)
+		}
+		f := schema.Fields[idx]
+		m.Charge(m.CPU.PerFieldCy)
+		switch wt {
+		case wireVarint:
+			if f.Kind != core.KindInt {
+				return nil, fmt.Errorf("protolite: field %s has wire type 0 but kind %v", f.Name, f.Kind)
+			}
+			v, n := getVarint(data[cur:])
+			if n == 0 {
+				return nil, fmt.Errorf("protolite: truncated varint")
+			}
+			m.Charge(float64(n) * m.CPU.VarintCyPerByte)
+			cur += n
+			d.SetInt(idx, v)
+		case wireBytes:
+			ln, n := getVarint(data[cur:])
+			if n == 0 {
+				return nil, fmt.Errorf("protolite: truncated length")
+			}
+			m.Charge(float64(n) * m.CPU.VarintCyPerByte)
+			cur += n
+			if uint64(cur)+ln > uint64(len(data)) {
+				return nil, fmt.Errorf("protolite: payload overruns buffer")
+			}
+			payload := data[cur : cur+int(ln)]
+			paySim := srcSim + uint64(cur)
+			cur += int(ln)
+			switch f.Kind {
+			case core.KindBytes, core.KindString, core.KindBytesList, core.KindStringList:
+				// Deserialization copy into library-owned memory.
+				cp := make([]byte, len(payload))
+				m.Charge(m.CPU.HeapAllocCy)
+				m.Copy(paySim, mem.UnpinnedSimAddr(cp), len(payload))
+				copy(cp, payload)
+				if f.Kind == core.KindString || f.Kind == core.KindStringList {
+					m.Charge(float64(len(cp)) * m.CPU.UTF8ValidateCyPerByte)
+				}
+				if f.Kind == core.KindBytes || f.Kind == core.KindString {
+					d.SetBytes(idx, cp, mem.UnpinnedSimAddr(cp))
+				} else {
+					d.AddBytes(idx, cp, mem.UnpinnedSimAddr(cp))
+				}
+			case core.KindIntList:
+				p := 0
+				for p < len(payload) {
+					v, n := getVarint(payload[p:])
+					if n == 0 {
+						return nil, fmt.Errorf("protolite: truncated packed int")
+					}
+					m.Charge(float64(n) * m.CPU.VarintCyPerByte)
+					p += n
+					d.AddInt(idx, v)
+				}
+			case core.KindNested, core.KindNestedList:
+				sub, err := ProtoUnmarshal(f.Nested, payload, paySim, m)
+				if err != nil {
+					return nil, err
+				}
+				if f.Kind == core.KindNested {
+					d.SetNested(idx, sub)
+				} else {
+					d.AddNested(idx, sub)
+				}
+			default:
+				return nil, fmt.Errorf("protolite: field %s has wire type 2 but kind %v", f.Name, f.Kind)
+			}
+		default:
+			return nil, fmt.Errorf("protolite: unsupported wire type %d", wt)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,175 @@
+package baselines
+
+import (
+	"fmt"
+	"strconv"
+
+	"cornflakes/internal/costmodel"
+	"cornflakes/internal/mem"
+)
+
+// RESP implements the Redis serialization protocol (RESP2), the
+// application-specific serialization Cornflakes is compared against inside
+// Redis (§6.2.2). Replies are composed into a contiguous output buffer —
+// Redis's handwritten serialization copies every value into its client
+// output buffer — which the netstack then copies into DMA memory.
+
+// RESPType enumerates RESP2 value types.
+type RESPType int
+
+const (
+	RESPSimple RESPType = iota
+	RESPError
+	RESPInteger
+	RESPBulk
+	RESPArray
+	RESPNull
+)
+
+// RESPValue is one decoded RESP value.
+type RESPValue struct {
+	Type  RESPType
+	Str   []byte // simple/error/bulk payload (view into the input)
+	Int   int64
+	Array []RESPValue
+}
+
+// RESPWriter composes RESP replies into a growing contiguous buffer,
+// metering the data copies.
+type RESPWriter struct {
+	Buf []byte
+	m   *costmodel.Meter
+}
+
+// NewRESPWriter returns a writer with a warm initial buffer.
+func NewRESPWriter(m *costmodel.Meter) *RESPWriter {
+	m.Charge(m.CPU.HeapAllocCy)
+	return &RESPWriter{Buf: make([]byte, 0, 256), m: m}
+}
+
+// Sim returns the output buffer's simulated address.
+func (w *RESPWriter) Sim() uint64 { return mem.UnpinnedSimAddr(w.Buf) }
+
+// Reset clears the buffer for reuse.
+func (w *RESPWriter) Reset() { w.Buf = w.Buf[:0] }
+
+func (w *RESPWriter) raw(s string) {
+	w.m.Charge(float64(len(s)) * 0.2) // formatting cost
+	w.Buf = append(w.Buf, s...)
+}
+
+// WriteSimple writes a simple string reply ("+OK\r\n").
+func (w *RESPWriter) WriteSimple(s string) { w.raw("+" + s + "\r\n") }
+
+// WriteError writes an error reply.
+func (w *RESPWriter) WriteError(s string) { w.raw("-" + s + "\r\n") }
+
+// WriteInteger writes an integer reply.
+func (w *RESPWriter) WriteInteger(v int64) { w.raw(":" + strconv.FormatInt(v, 10) + "\r\n") }
+
+// WriteNull writes a null bulk string.
+func (w *RESPWriter) WriteNull() { w.raw("$-1\r\n") }
+
+// WriteBulk writes a bulk string, copying the payload into the reply
+// buffer (this copy is what the Cornflakes Redis integration eliminates).
+func (w *RESPWriter) WriteBulk(data []byte, sim uint64) {
+	w.raw("$" + strconv.Itoa(len(data)) + "\r\n")
+	w.m.Copy(sim, w.Sim()+uint64(len(w.Buf)), len(data))
+	w.Buf = append(w.Buf, data...)
+	w.raw("\r\n")
+}
+
+// WriteArrayHeader writes an array header for n elements.
+func (w *RESPWriter) WriteArrayHeader(n int) { w.raw("*" + strconv.Itoa(n) + "\r\n") }
+
+// RESPParse decodes one RESP value from data, returning the value and the
+// bytes consumed. Bulk payloads are zero-copy views into data.
+func RESPParse(data []byte, m *costmodel.Meter) (RESPValue, int, error) {
+	return respParse(data, m, 0)
+}
+
+const respMaxDepth = 32
+
+func respParse(data []byte, m *costmodel.Meter, depth int) (RESPValue, int, error) {
+	if depth > respMaxDepth {
+		return RESPValue{}, 0, fmt.Errorf("resp: nesting too deep")
+	}
+	if len(data) == 0 {
+		return RESPValue{}, 0, fmt.Errorf("resp: empty input")
+	}
+	line, n, err := respLine(data)
+	if err != nil {
+		return RESPValue{}, 0, err
+	}
+	m.Charge(float64(n) * 0.2) // line scan
+	switch data[0] {
+	case '+':
+		return RESPValue{Type: RESPSimple, Str: line}, n, nil
+	case '-':
+		return RESPValue{Type: RESPError, Str: line}, n, nil
+	case ':':
+		v, err := strconv.ParseInt(string(line), 10, 64)
+		if err != nil {
+			return RESPValue{}, 0, fmt.Errorf("resp: bad integer %q", line)
+		}
+		return RESPValue{Type: RESPInteger, Int: v}, n, nil
+	case '$':
+		ln, err := strconv.Atoi(string(line))
+		if err != nil {
+			return RESPValue{}, 0, fmt.Errorf("resp: bad bulk length %q", line)
+		}
+		if ln == -1 {
+			return RESPValue{Type: RESPNull}, n, nil
+		}
+		if ln < 0 || n+ln+2 > len(data) {
+			return RESPValue{}, 0, fmt.Errorf("resp: truncated bulk string")
+		}
+		if data[n+ln] != '\r' || data[n+ln+1] != '\n' {
+			return RESPValue{}, 0, fmt.Errorf("resp: bulk string missing terminator")
+		}
+		return RESPValue{Type: RESPBulk, Str: data[n : n+ln : n+ln]}, n + ln + 2, nil
+	case '*':
+		count, err := strconv.Atoi(string(line))
+		if err != nil || count < -1 {
+			return RESPValue{}, 0, fmt.Errorf("resp: bad array length %q", line)
+		}
+		if count == -1 {
+			return RESPValue{Type: RESPNull}, n, nil
+		}
+		v := RESPValue{Type: RESPArray}
+		cur := n
+		for i := 0; i < count; i++ {
+			elem, en, err := respParse(data[cur:], m, depth+1)
+			if err != nil {
+				return RESPValue{}, 0, err
+			}
+			v.Array = append(v.Array, elem)
+			cur += en
+		}
+		return v, cur, nil
+	default:
+		return RESPValue{}, 0, fmt.Errorf("resp: unknown type byte %q", data[0])
+	}
+}
+
+// respLine returns the bytes between the type byte and CRLF, plus the total
+// bytes consumed including CRLF.
+func respLine(data []byte) ([]byte, int, error) {
+	for i := 1; i+1 < len(data); i++ {
+		if data[i] == '\r' && data[i+1] == '\n' {
+			return data[1:i:i], i + 2, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("resp: missing CRLF")
+}
+
+// RESPEncodeCommand encodes a client command (array of bulk strings), the
+// format Redis clients always use.
+func RESPEncodeCommand(m *costmodel.Meter, args ...[]byte) []byte {
+	w := NewRESPWriter(m)
+	w.WriteArrayHeader(len(args))
+	for _, a := range args {
+		w.WriteBulk(a, mem.UnpinnedSimAddr(a))
+	}
+	return w.Buf
+}

@@ -1,0 +1,284 @@
+// Package cachesim models a set-associative, write-allocate CPU cache
+// hierarchy with LRU replacement.
+//
+// Cornflakes' central observation (§2.3–§2.4 of the paper) is that the
+// copy-vs-scatter-gather tradeoff is governed by cache misses: each
+// zero-copy send touches bookkeeping metadata (refcounts, pinned-region
+// ranges) that is usually cold, while each copy touches the data itself.
+// Reproducing that mechanism requires an explicit cache model over the
+// simulated address space, not just fixed per-operation constants.
+//
+// Addresses are simulated "physical" addresses handed out by internal/mem.
+// Costs are returned in CPU cycles (float64) and converted to virtual time
+// by internal/costmodel.
+package cachesim
+
+import "fmt"
+
+// LineSize is the cache line size in bytes. All x86 server parts the paper
+// evaluates use 64-byte lines.
+const LineSize = 64
+
+// HitLevel identifies where an access was satisfied.
+type HitLevel int
+
+const (
+	HitL1 HitLevel = iota
+	HitL2
+	HitL3
+	HitDRAM
+)
+
+func (h HitLevel) String() string {
+	switch h {
+	case HitL1:
+		return "L1"
+	case HitL2:
+		return "L2"
+	case HitL3:
+		return "L3"
+	default:
+		return "DRAM"
+	}
+}
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Size      int     // total bytes; must be a multiple of Ways*LineSize
+	Ways      int     // associativity
+	LatencyCy float64 // access latency in cycles when the access hits here
+}
+
+// Config describes a hierarchy. Shared is true for levels shared between
+// cores (only meaningful to callers that build per-core hierarchies).
+type Config struct {
+	L1, L2, L3 LevelConfig
+	// DRAMLatencyCy is the cost of an access that misses every level.
+	// The paper uses 100 ns ≈ 280 cycles at 2.8 GHz.
+	DRAMLatencyCy float64
+	// StreamFillCy is the charge for a DRAM line fill that the hardware
+	// prefetcher has already covered: during a sequential copy only the
+	// first line pays full DRAM latency; subsequent lines stream in at
+	// roughly memory bandwidth.
+	StreamFillCy float64
+}
+
+// DefaultConfig mirrors the AMD EPYC 7402P servers in the paper's testbed
+// (§6.1.1), scaled to a single-core slice of the shared L3.
+func DefaultConfig() Config {
+	return Config{
+		L1:            LevelConfig{Size: 32 << 10, Ways: 8, LatencyCy: 4},
+		L2:            LevelConfig{Size: 512 << 10, Ways: 8, LatencyCy: 14},
+		L3:            LevelConfig{Size: 16 << 20, Ways: 16, LatencyCy: 47},
+		DRAMLatencyCy: 280, // 100 ns at 2.8 GHz
+		// ≈64 B per 12 cycles ≈ 15 GB/s single-stream fill bandwidth.
+		StreamFillCy: 12,
+	}
+}
+
+// level is one set-associative cache level.
+type level struct {
+	cfg     LevelConfig
+	sets    [][]uint64 // per-set MRU-ordered line tags (full line addresses)
+	numSets int
+	// stats
+	hits, misses uint64
+}
+
+func newLevel(cfg LevelConfig) *level {
+	if cfg.Ways <= 0 || cfg.Size <= 0 {
+		panic(fmt.Sprintf("cachesim: invalid level config %+v", cfg))
+	}
+	numSets := cfg.Size / (cfg.Ways * LineSize)
+	if numSets <= 0 {
+		numSets = 1
+	}
+	sets := make([][]uint64, numSets)
+	return &level{cfg: cfg, sets: sets, numSets: numSets}
+}
+
+// lookup probes for line addr (already line-aligned). On hit it refreshes
+// LRU order and returns true. On miss it returns false without filling.
+func (l *level) lookup(line uint64) bool {
+	set := l.sets[l.setIndex(line)]
+	for i, tag := range set {
+		if tag == line {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			l.hits++
+			return true
+		}
+	}
+	l.misses++
+	return false
+}
+
+// fill inserts line, evicting the LRU way if the set is full. Returns the
+// evicted line and true if an eviction happened.
+func (l *level) fill(line uint64) (uint64, bool) {
+	idx := l.setIndex(line)
+	set := l.sets[idx]
+	if len(set) < l.cfg.Ways {
+		l.sets[idx] = append([]uint64{line}, set...)
+		return 0, false
+	}
+	victim := set[len(set)-1]
+	copy(set[1:], set[:len(set)-1])
+	set[0] = line
+	return victim, true
+}
+
+func (l *level) setIndex(line uint64) int {
+	return int((line / LineSize) % uint64(l.numSets))
+}
+
+// contains probes without touching LRU state or stats.
+func (l *level) contains(line uint64) bool {
+	set := l.sets[l.setIndex(line)]
+	for _, tag := range set {
+		if tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// flushAll drops every line (used by experiments to start cold).
+func (l *level) flushAll() {
+	for i := range l.sets {
+		l.sets[i] = nil
+	}
+}
+
+// Stats for one level.
+type LevelStats struct {
+	Hits, Misses uint64
+}
+
+// Hierarchy is a three-level cache in front of DRAM. L3 may be shared with
+// other hierarchies (see NewShared) to model multiple cores.
+type Hierarchy struct {
+	cfg      Config
+	l1, l2   *level
+	l3       *level
+	ownsL3   bool
+	lastLine uint64 // last line filled from DRAM, for stream detection
+	// DRAMAccesses counts accesses that went all the way to memory.
+	DRAMAccesses uint64
+}
+
+// New builds a hierarchy with a private L3.
+func New(cfg Config) *Hierarchy {
+	return &Hierarchy{
+		cfg:    cfg,
+		l1:     newLevel(cfg.L1),
+		l2:     newLevel(cfg.L2),
+		l3:     newLevel(cfg.L3),
+		ownsL3: true,
+	}
+}
+
+// NewShared builds a hierarchy whose L3 is shared with base (both cores hit
+// and fill the same L3 state). base must have been built by New.
+func NewShared(cfg Config, base *Hierarchy) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		l1:  newLevel(cfg.L1),
+		l2:  newLevel(cfg.L2),
+		l3:  base.l3,
+	}
+}
+
+// Access touches a single address (one line) and returns where it hit plus
+// the cycle cost. Write-allocate: writes behave like reads for fill
+// purposes (the line is brought in, dirtiness is not modelled because the
+// paper's costs are read-latency dominated).
+func (h *Hierarchy) Access(addr uint64) (HitLevel, float64) {
+	line := addr &^ uint64(LineSize-1)
+	if h.l1.lookup(line) {
+		return HitL1, h.cfg.L1.LatencyCy
+	}
+	if h.l2.lookup(line) {
+		h.l1.fill(line)
+		return HitL2, h.cfg.L2.LatencyCy
+	}
+	if h.l3.lookup(line) {
+		h.l2.fill(line)
+		h.l1.fill(line)
+		return HitL3, h.cfg.L3.LatencyCy
+	}
+	// DRAM. Fill all levels.
+	h.DRAMAccesses++
+	h.l3.fill(line)
+	h.l2.fill(line)
+	h.l1.fill(line)
+	cost := h.cfg.DRAMLatencyCy
+	if h.lastLine != 0 && line == h.lastLine+LineSize {
+		// Sequential miss stream: the prefetcher has this line in flight.
+		cost = h.cfg.StreamFillCy
+	}
+	h.lastLine = line
+	return HitDRAM, cost
+}
+
+// AccessRange touches every line in [addr, addr+n) and returns the total
+// cycle cost plus the number of lines that missed to DRAM.
+func (h *Hierarchy) AccessRange(addr uint64, n int) (cycles float64, dramLines int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	first := addr &^ uint64(LineSize-1)
+	last := (addr + uint64(n) - 1) &^ uint64(LineSize-1)
+	for line := first; ; line += LineSize {
+		lvl, c := h.Access(line)
+		cycles += c
+		if lvl == HitDRAM {
+			dramLines++
+		}
+		if line == last {
+			break
+		}
+	}
+	return cycles, dramLines
+}
+
+// Contains reports the highest (fastest) level currently holding addr, or
+// HitDRAM if no level holds it. It does not disturb LRU state.
+func (h *Hierarchy) Contains(addr uint64) HitLevel {
+	line := addr &^ uint64(LineSize-1)
+	switch {
+	case h.l1.contains(line):
+		return HitL1
+	case h.l2.contains(line):
+		return HitL2
+	case h.l3.contains(line):
+		return HitL3
+	default:
+		return HitDRAM
+	}
+}
+
+// Stats returns per-level hit/miss counters in L1, L2, L3 order.
+func (h *Hierarchy) Stats() [3]LevelStats {
+	return [3]LevelStats{
+		{h.l1.hits, h.l1.misses},
+		{h.l2.hits, h.l2.misses},
+		{h.l3.hits, h.l3.misses},
+	}
+}
+
+// Flush empties every private level; the L3 is flushed only if owned (the
+// hierarchy that created a shared L3 owns it).
+func (h *Hierarchy) Flush() {
+	h.l1.flushAll()
+	h.l2.flushAll()
+	if h.ownsL3 {
+		h.l3.flushAll()
+	}
+	h.lastLine = 0
+}
+
+// L3Size returns the configured L3 capacity in bytes, which experiments use
+// to size working sets relative to cache (e.g. "5× larger than L3", §2.4).
+func (h *Hierarchy) L3Size() int { return h.cfg.L3.Size }

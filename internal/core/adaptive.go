@@ -1,0 +1,111 @@
+package core
+
+import "cornflakes/internal/costmodel"
+
+// AdaptiveThreshold implements the paper's §7 "Static zero-copy threshold"
+// future-work item: instead of a fixed 512-byte threshold, the controller
+// observes the realized cost of each path and adjusts the threshold toward
+// the empirical crossover.
+//
+// The mechanism follows §3.2.1's constraint that the decision must stay
+// per-field and cheap: the controller only updates between requests (from
+// the meter's aggregate counters), never on the per-field fast path. The
+// signal is the metadata miss rate: when refcount touches mostly miss
+// (high memory pressure, large working sets), zero-copy bookkeeping costs
+// a full DRAM access and the threshold should rise; when metadata stays
+// cached, zero-copy is cheap even for smaller fields and the threshold can
+// fall.
+type AdaptiveThreshold struct {
+	ctx *Ctx
+
+	// Min and Max clamp the threshold (bytes).
+	Min, Max int
+	// Step is the multiplicative adjustment per observation window.
+	Step float64
+	// Window is the number of metadata touches per adjustment.
+	Window uint64
+
+	// Controller state.
+	lastTouches uint64
+	lastMisses  uint64
+	// Adjustments counts threshold changes, for tests and reporting.
+	Adjustments uint64
+}
+
+// NewAdaptiveThreshold attaches a controller to a context. The context's
+// current threshold is the starting point.
+func NewAdaptiveThreshold(ctx *Ctx) *AdaptiveThreshold {
+	return &AdaptiveThreshold{
+		ctx:    ctx,
+		Min:    64,
+		Max:    4096,
+		Step:   1.25,
+		Window: 256,
+	}
+}
+
+// missCostCy estimates the average metadata access cost over the window.
+func (a *AdaptiveThreshold) missCostCy(m *costmodel.Meter, touches, misses uint64) float64 {
+	if touches == 0 {
+		return 0
+	}
+	missRate := float64(misses) / float64(touches)
+	// A miss costs a DRAM access; a hit costs an L1/L2 access (~8 cycles).
+	return missRate*280 + (1-missRate)*8
+}
+
+// crossoverBytes computes where copy cost equals zero-copy cost given the
+// observed metadata access cost — the analytical form of §5.3's factor
+// list: zero-copy pays fixed bookkeeping plus the metadata access; copy
+// pays per-byte work plus line fills.
+func (a *AdaptiveThreshold) crossoverBytes(m *costmodel.Meter, metaCy float64) int {
+	cpu := m.CPU
+	zcFixed := cpu.RegistryLookupCy + cpu.SGPostCy + cpu.CompletionCy + 2*metaCy
+	// Copy cost per byte: SIMD copy twice plus amortized line fills
+	// (streamed source fill ≈ 12 cy / 64 B, warm destination ≈ 4 cy / 64 B,
+	// second copy both warm).
+	perByte := 2*cpu.CopyPerByteCy + (12.0+3*4.0)/64.0
+	fixed := cpu.ArenaAllocCy + 2*cpu.CopySetupCy
+	// First-line demand miss on a cold source.
+	coldStart := 280.0
+	bytes := (zcFixed + coldStart - fixed) / perByte
+	// The cold-start miss applies to both paths' first touch in different
+	// ways; dampen toward the empirical range.
+	bytes *= 0.5
+	return int(bytes)
+}
+
+// Observe updates the threshold from the meter's counters; call it once
+// per request (or less often). It is O(1).
+func (a *AdaptiveThreshold) Observe() {
+	m := a.ctx.Meter
+	touches := m.MetadataTouch - a.lastTouches
+	if touches < a.Window {
+		return
+	}
+	misses := m.MetadataMisses - a.lastMisses
+	a.lastTouches = m.MetadataTouch
+	a.lastMisses = m.MetadataMisses
+
+	metaCy := a.missCostCy(m, touches, misses)
+	target := a.crossoverBytes(m, metaCy)
+	cur := a.ctx.Threshold
+	switch {
+	case target > int(float64(cur)*1.1):
+		cur = int(float64(cur) * a.Step)
+	case target < int(float64(cur)*0.9):
+		cur = int(float64(cur) / a.Step)
+	default:
+		return
+	}
+	if cur < a.Min {
+		cur = a.Min
+	}
+	if cur > a.Max {
+		cur = a.Max
+	}
+	if cur != a.ctx.Threshold {
+		a.ctx.Threshold = cur
+		a.Adjustments++
+	}
+}

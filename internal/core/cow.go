@@ -1,0 +1,69 @@
+package core
+
+import "cornflakes/internal/mem"
+
+// COWPtr is the write-protected smart pointer sketched in §7 ("Cornflakes
+// could provide a library of smart pointers for developers where writes to
+// the smart pointer automatically trigger new allocations and raw pointer
+// swaps"). It wraps a pinned value that may be in flight on the NIC:
+// reads see the current buffer; Update allocates a fresh pinned buffer and
+// swaps the pointer, so in-flight DMA keeps reading the old (refcounted)
+// data and the application can never mutate bytes the NIC is sending.
+//
+// This turns the paper's write-protection problem into the free-protection
+// problem the refcounts already solve, at the cost of one allocation per
+// update — exactly the "allocations and pointer swaps" tradeoff §4
+// describes for porting object stores.
+type COWPtr struct {
+	ctx *Ctx
+	buf *mem.Buf
+}
+
+// NewCOWPtr allocates a pinned buffer holding a copy of data.
+func (c *Ctx) NewCOWPtr(data []byte) *COWPtr {
+	b := c.Alloc.Alloc(len(data))
+	c.Meter.Charge(c.Meter.CPU.DMABufAllocCy)
+	c.Meter.Copy(c.Alloc.SimAddrOf(data), b.SimAddr(), len(data))
+	copy(b.Bytes(), data)
+	return &COWPtr{ctx: c, buf: b}
+}
+
+// Bytes returns the current value. The view is stable only until the next
+// Update; senders should capture it through NewCFPtr (which takes a
+// reference) rather than holding the slice.
+func (p *COWPtr) Bytes() []byte { return p.buf.Bytes() }
+
+// Buf returns the current pinned buffer (no reference transferred).
+func (p *COWPtr) Buf() *mem.Buf { return p.buf }
+
+// Ptr builds a zero-copy CFPtr for the current value, taking a reference
+// that survives any subsequent Update.
+func (p *COWPtr) Ptr() CFPtr {
+	m := p.ctx.Meter
+	m.Charge(m.CPU.PerFieldCy)
+	m.MetadataAccess(p.buf.RefcountSimAddr())
+	// SubView takes the reference the CFPtr will own.
+	return ZeroCopyPtrFromBuf(p.buf.SubView(0, p.buf.Len()))
+}
+
+// Update replaces the value: a fresh pinned buffer is allocated, filled,
+// and swapped in; the old buffer's reference is dropped (it is freed once
+// all in-flight sends complete). The old bytes are never written.
+func (p *COWPtr) Update(data []byte) {
+	c := p.ctx
+	nb := c.Alloc.Alloc(len(data))
+	c.Meter.Charge(c.Meter.CPU.DMABufAllocCy)
+	c.Meter.Copy(c.Alloc.SimAddrOf(data), nb.SimAddr(), len(data))
+	copy(nb.Bytes(), data)
+	old := p.buf
+	p.buf = nb
+	c.Meter.MetadataAccess(old.RefcountSimAddr())
+	old.DecRef()
+}
+
+// Release drops the pointer's reference to the current buffer.
+func (p *COWPtr) Release() {
+	p.ctx.Meter.MetadataAccess(p.buf.RefcountSimAddr())
+	p.buf.DecRef()
+	p.buf = nil
+}

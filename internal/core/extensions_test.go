@@ -1,0 +1,191 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// --- AdaptiveThreshold (§7 "Static zero-copy threshold") ---
+
+func TestAdaptiveThresholdRaisesUnderColdMetadata(t *testing.T) {
+	c := newTestCtx()
+	c.Threshold = 128
+	at := NewAdaptiveThreshold(c)
+	at.Window = 64
+	// Touch metadata at always-cold addresses: every refcount access
+	// misses, so the crossover moves up and the threshold should rise.
+	addr := uint64(0xF100_0000_0000)
+	for i := 0; i < 4000; i++ {
+		c.Meter.MetadataAccess(addr + uint64(i*4096))
+		at.Observe()
+	}
+	if c.Threshold <= 128 {
+		t.Errorf("threshold = %d, want raised above 128 under all-miss metadata", c.Threshold)
+	}
+	if at.Adjustments == 0 {
+		t.Error("no adjustments recorded")
+	}
+	if c.Threshold > at.Max {
+		t.Errorf("threshold %d exceeds Max %d", c.Threshold, at.Max)
+	}
+}
+
+func TestAdaptiveThresholdLowersUnderWarmMetadata(t *testing.T) {
+	c := newTestCtx()
+	c.Threshold = 4096
+	at := NewAdaptiveThreshold(c)
+	at.Window = 64
+	// Hammer one metadata line: everything hits, zero-copy is cheap, so
+	// the threshold should fall.
+	addr := uint64(0xF100_0000_0000)
+	for i := 0; i < 4000; i++ {
+		c.Meter.MetadataAccess(addr)
+		at.Observe()
+	}
+	if c.Threshold >= 4096 {
+		t.Errorf("threshold = %d, want lowered below 4096 under all-hit metadata", c.Threshold)
+	}
+	if c.Threshold < at.Min {
+		t.Errorf("threshold %d below Min %d", c.Threshold, at.Min)
+	}
+}
+
+func TestAdaptiveThresholdStableWithoutTraffic(t *testing.T) {
+	c := newTestCtx()
+	at := NewAdaptiveThreshold(c)
+	before := c.Threshold
+	for i := 0; i < 100; i++ {
+		at.Observe() // no metadata touches: below the window, no change
+	}
+	if c.Threshold != before {
+		t.Error("threshold changed without observations")
+	}
+}
+
+func TestAdaptiveThresholdConverges(t *testing.T) {
+	c := newTestCtx()
+	c.Threshold = DefaultThreshold
+	at := NewAdaptiveThreshold(c)
+	at.Window = 64
+	// Mixed hit/miss traffic: after convergence the threshold should
+	// settle (no unbounded oscillation amplitude growth).
+	addr := uint64(0xF100_0000_0000)
+	var last int
+	settled := 0
+	for i := 0; i < 20000; i++ {
+		// ~50% miss pattern: alternate a hot line and fresh lines.
+		if i%2 == 0 {
+			c.Meter.MetadataAccess(addr)
+		} else {
+			c.Meter.MetadataAccess(addr + uint64(i)*4096)
+		}
+		at.Observe()
+		if c.Threshold == last {
+			settled++
+		} else {
+			settled = 0
+			last = c.Threshold
+		}
+	}
+	if c.Threshold < at.Min || c.Threshold > at.Max {
+		t.Errorf("threshold %d escaped [%d, %d]", c.Threshold, at.Min, at.Max)
+	}
+}
+
+// --- COWPtr (§7 write-protected smart pointers) ---
+
+func TestCOWPtrBasics(t *testing.T) {
+	c := newTestCtx()
+	p := c.NewCOWPtr([]byte("version-one"))
+	if string(p.Bytes()) != "version-one" {
+		t.Fatalf("initial value %q", p.Bytes())
+	}
+	if !c.Alloc.IsPinned(p.Bytes()) {
+		t.Error("COW value not in pinned memory")
+	}
+	p.Release()
+	if c.Alloc.Stats().SlotsInUse != 0 {
+		t.Error("buffer leaked after release")
+	}
+}
+
+func TestCOWPtrUpdateNeverMutatesInFlight(t *testing.T) {
+	c := newTestCtx()
+	c.Threshold = 0 // force zero-copy for small test values
+	p := c.NewCOWPtr(bytes.Repeat([]byte{0xAA}, 600))
+
+	// Simulate a send in flight: the CFPtr holds a reference like the NIC
+	// would.
+	inFlight := p.Ptr()
+	if !inFlight.IsZeroCopy() {
+		t.Fatal("COW Ptr should be zero-copy")
+	}
+	oldBytes := inFlight.Bytes()
+
+	// The application updates the value mid-flight.
+	p.Update(bytes.Repeat([]byte{0xBB}, 600))
+
+	// In-flight data is untouched; new readers see the new value.
+	for _, b := range oldBytes {
+		if b != 0xAA {
+			t.Fatal("in-flight bytes mutated by Update (write protection violated)")
+		}
+	}
+	if p.Bytes()[0] != 0xBB {
+		t.Error("new value not visible")
+	}
+
+	// Dropping the in-flight reference frees the old buffer.
+	inFlight.Release(c.Meter)
+	p.Release()
+	if c.Alloc.Stats().SlotsInUse != 0 {
+		t.Errorf("slots in use = %d after all releases", c.Alloc.Stats().SlotsInUse)
+	}
+}
+
+func TestCOWPtrManyUpdates(t *testing.T) {
+	c := newTestCtx()
+	p := c.NewCOWPtr([]byte{1})
+	var holds []CFPtr
+	for i := 2; i <= 20; i++ {
+		holds = append(holds, p.Ptr())
+		p.Update(bytes.Repeat([]byte{byte(i)}, i))
+	}
+	// Every held version observes its own snapshot.
+	for i, h := range holds {
+		want := byte(i + 1)
+		if h.Bytes()[0] != want {
+			t.Errorf("snapshot %d = %d, want %d", i, h.Bytes()[0], want)
+		}
+	}
+	for _, h := range holds {
+		h.Release(c.Meter)
+	}
+	p.Release()
+	if c.Alloc.Stats().SlotsInUse != 0 {
+		t.Error("versions leaked")
+	}
+}
+
+func TestCOWPtrInMessage(t *testing.T) {
+	c := newTestCtx()
+	c.Threshold = 0
+	s := kvSchema()
+	p := c.NewCOWPtr(bytes.Repeat([]byte{0x11}, 700))
+	m := NewMessage(s, c)
+	m.AppendBytes(2, p.Ptr())
+	p.Update(bytes.Repeat([]byte{0x22}, 700)) // swap while "queued"
+	data := Marshal(m)
+	buf := c.Alloc.Alloc(len(data))
+	copy(buf.Bytes(), data)
+	got, err := c.Deserialize(s, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GetBytesElem(2, 0)[0] != 0x11 {
+		t.Error("message captured post-update bytes")
+	}
+	m.Release()
+	got.Release()
+	p.Release()
+}

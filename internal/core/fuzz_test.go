@@ -1,0 +1,71 @@
+package core
+
+import "testing"
+
+// FuzzDeserialize throws arbitrary bytes at the Cornflakes wire-format
+// deserializer (and the getters of anything it accepts). Invariant: no
+// panics, no out-of-bounds reads, errors for anything inconsistent.
+// Fuzz further with:
+//
+//	go test -fuzz FuzzDeserialize -fuzztime 30s ./internal/core
+func FuzzDeserialize(f *testing.F) {
+	// Seed with a valid message.
+	{
+		c := newTestCtx()
+		m := NewMessage(kvSchema(), c)
+		m.SetInt(0, 7)
+		m.AppendBytes(1, c.NewCFPtr([]byte("seed-key")))
+		v := c.Alloc.Alloc(600)
+		m.AppendBytes(2, c.NewCFPtr(v.Bytes()))
+		f.Add(Marshal(m))
+	}
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{})
+
+	inner, outer := nestedTestSchemas()
+	_ = inner
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, schema := range []*Schema{kvSchema(), outer} {
+			c := newTestCtx()
+			msg, err := c.DeserializeBytes(schema, data)
+			if err != nil {
+				continue
+			}
+			// Anything accepted must be fully readable without panics.
+			for i, fdef := range schema.Fields {
+				if !msg.Has(i) {
+					continue
+				}
+				switch fdef.Kind {
+				case KindInt:
+					_ = msg.GetInt(i)
+				case KindBytes:
+					_ = msg.GetBytes(i)
+				case KindString:
+					_, _ = msg.GetString(i)
+				case KindIntList:
+					for j := 0; j < msg.ListLen(i); j++ {
+						_ = msg.GetIntElem(i, j)
+					}
+				case KindBytesList:
+					for j := 0; j < msg.ListLen(i); j++ {
+						_ = msg.GetBytesElem(i, j)
+					}
+				case KindStringList:
+					for j := 0; j < msg.ListLen(i); j++ {
+						_, _ = msg.GetStringElem(i, j)
+					}
+				case KindNested:
+					sub := msg.GetNested(i)
+					if sub != nil {
+						_ = sub.GetInt(0)
+					}
+				case KindNestedList:
+					for j := 0; j < msg.ListLen(i); j++ {
+						_ = msg.GetNestedElem(i, j).GetInt(0)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,145 @@
+// Package core implements the Cornflakes serialization library: hybrid
+// copy/zero-copy smart pointers (CFPtr, §3.1), the per-field size-threshold
+// heuristic (§3.2.1), dynamic messages over runtime schemas, and the
+// CornflakesObj protocol the co-designed networking stack consumes for
+// combined serialize-and-send (§3.2.3).
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FieldKind enumerates the field types the prototype supports: "base
+// integer types, strings, bytes, nested objects, and lists of strings,
+// bytes or nested objects" (§4), plus integer lists.
+type FieldKind int
+
+const (
+	KindInt FieldKind = iota
+	KindBytes
+	KindString
+	KindNested
+	KindIntList
+	KindBytesList
+	KindStringList
+	KindNestedList
+)
+
+func (k FieldKind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindBytes:
+		return "bytes"
+	case KindString:
+		return "string"
+	case KindNested:
+		return "nested"
+	case KindIntList:
+		return "repeated int"
+	case KindBytesList:
+		return "repeated bytes"
+	case KindStringList:
+		return "repeated string"
+	case KindNestedList:
+		return "repeated nested"
+	default:
+		return fmt.Sprintf("FieldKind(%d)", int(k))
+	}
+}
+
+// IsList reports whether the kind is a repeated field.
+func (k FieldKind) IsList() bool {
+	switch k {
+	case KindIntList, KindBytesList, KindStringList, KindNestedList:
+		return true
+	}
+	return false
+}
+
+// IsPtrKind reports whether values of this kind are carried as CFPtr
+// payloads (bytes or strings, scalar or repeated).
+func (k FieldKind) IsPtrKind() bool {
+	switch k {
+	case KindBytes, KindString, KindBytesList, KindStringList:
+		return true
+	}
+	return false
+}
+
+// Field is one schema field. Field indexes are positional (the paper reuses
+// Protobuf's schema language; field numbers map to positions here).
+type Field struct {
+	Name   string
+	Kind   FieldKind
+	Nested *Schema // required for KindNested and KindNestedList
+}
+
+// Schema describes a message type at runtime. Generated code (cmd/cfc)
+// compiles schemas to typed Go structs; the dynamic Message in this package
+// interprets them directly.
+type Schema struct {
+	Name   string
+	Fields []Field
+}
+
+// Validate checks structural invariants, recursing through nested schemas.
+func (s *Schema) Validate() error {
+	return s.validate(map[*Schema]bool{})
+}
+
+func (s *Schema) validate(seen map[*Schema]bool) error {
+	if s == nil {
+		return fmt.Errorf("core: nil schema")
+	}
+	if seen[s] {
+		return nil // already being validated (recursive schemas are legal)
+	}
+	seen[s] = true
+	if strings.TrimSpace(s.Name) == "" {
+		return fmt.Errorf("core: schema with empty name")
+	}
+	if len(s.Fields) == 0 {
+		return fmt.Errorf("core: schema %s has no fields", s.Name)
+	}
+	names := map[string]bool{}
+	for i, f := range s.Fields {
+		if strings.TrimSpace(f.Name) == "" {
+			return fmt.Errorf("core: schema %s field %d has empty name", s.Name, i)
+		}
+		if names[f.Name] {
+			return fmt.Errorf("core: schema %s has duplicate field %q", s.Name, f.Name)
+		}
+		names[f.Name] = true
+		switch f.Kind {
+		case KindNested, KindNestedList:
+			if f.Nested == nil {
+				return fmt.Errorf("core: schema %s field %q is nested but has no nested schema", s.Name, f.Name)
+			}
+			if err := f.Nested.validate(seen); err != nil {
+				return err
+			}
+		case KindInt, KindBytes, KindString, KindIntList, KindBytesList, KindStringList:
+			if f.Nested != nil {
+				return fmt.Errorf("core: schema %s field %q has a nested schema but kind %v", s.Name, f.Name, f.Kind)
+			}
+		default:
+			return fmt.Errorf("core: schema %s field %q has unknown kind %d", s.Name, f.Name, int(f.Kind))
+		}
+	}
+	return nil
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (s *Schema) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumFields returns the number of schema fields.
+func (s *Schema) NumFields() int { return len(s.Fields) }

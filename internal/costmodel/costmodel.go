@@ -1,0 +1,280 @@
+// Package costmodel converts the operations the Cornflakes stack performs —
+// copies, metadata accesses, descriptor posts, allocations — into CPU
+// cycles on a calibrated core model, and cycles into virtual time.
+//
+// This is the boundary between the functionally real layer (serializers
+// that move real bytes) and the simulated hardware substrate: functional
+// code calls Meter methods as it works, and the meter consults the cache
+// hierarchy for every data and metadata touch, so effects like "the second
+// copy is cheap because its source is cached" (§2.2) and "each access to
+// uncached metadata consumes 15–23% of packet processing time" (§2.3)
+// emerge from cache state rather than being hard-coded.
+package costmodel
+
+import (
+	"cornflakes/internal/cachesim"
+	"cornflakes/internal/sim"
+)
+
+// CPU describes the core the server runs on, calibrated against the
+// paper's testbed (AMD EPYC 7402P, 2.8 GHz; §6.1.1).
+type CPU struct {
+	FreqGHz float64
+
+	// Copy costs. A memcpy pays a fixed setup plus a per-byte ALU/SIMD cost;
+	// cache-line fills for source reads and destination write-allocates are
+	// charged separately through the cache model.
+	CopySetupCy   float64
+	CopyPerByteCy float64
+
+	// Allocation costs. Arena allocation is a bump pointer; heap allocation
+	// models a general-purpose malloc (used by baselines without arenas).
+	ArenaAllocCy float64
+	HeapAllocCy  float64
+
+	// SGPostCy is the CPU cost of adding one extra scatter-gather entry to
+	// a transmit descriptor: formatting the entry and the amortized
+	// doorbell/ring bookkeeping (§5.3 "the ring buffer API").
+	SGPostCy float64
+
+	// RegistryLookupCy is the pinned-region lookup inside RecoverPtr: "a
+	// map lookup and fast arithmetic operation" (§3.2.2). The refcount
+	// access it leads to is charged separately through the cache.
+	RegistryLookupCy float64
+
+	// HashProbeCy is the fixed arithmetic of one hash-table probe in the
+	// KV store (hashing plus compare), excluding the memory touches.
+	HashProbeCy float64
+
+	// PerFieldCy is the fixed serialization bookkeeping per field (branching,
+	// bitmap updates, size accounting) common to all code paths.
+	PerFieldCy float64
+
+	// UTF8ValidateCyPerByte is the cost of UTF-8 validation, which the
+	// baselines pay at deserialization time and Cornflakes defers (§6.4).
+	UTF8ValidateCyPerByte float64
+
+	// VarintCyPerByte is the extra encode/decode cost for Protobuf-style
+	// varint integers.
+	VarintCyPerByte float64
+
+	// SyscallFreeCy models releasing one packet buffer / descriptor
+	// completion.
+	CompletionCy float64
+
+	// RxPacketCy is the fixed receive-path cost per packet: RX descriptor
+	// processing, buffer accounting, and packet header parsing in the
+	// kernel-bypass poll loop.
+	RxPacketCy float64
+
+	// TxDescCy is the fixed transmit cost per packet: base descriptor
+	// formatting and the amortized doorbell write. Each scatter-gather
+	// entry beyond the first adds SGPostCy.
+	TxDescCy float64
+
+	// DMABufAllocCy is the cost of taking a pinned transmit buffer from
+	// the allocator free list.
+	DMABufAllocCy float64
+
+	// PktHeaderCy is the cost of composing the 42-byte Ethernet/IP/UDP
+	// header (plus TCP state updates for TCP sends).
+	PktHeaderCy float64
+}
+
+// DefaultCPU returns the calibrated 2.8 GHz core model.
+func DefaultCPU() CPU {
+	return CPU{
+		FreqGHz:       2.8,
+		CopySetupCy:   20,
+		CopyPerByteCy: 0.03, // ~32 B/cycle SIMD copy
+		ArenaAllocCy:  8,
+		HeapAllocCy:   40,
+		// SGPostCy is the raw descriptor-entry write — cheap, which is why
+		// raw scatter-gather beats copying even for 64-byte buffers
+		// (Fig. 3). RegistryLookupCy and CompletionCy are the software
+		// safety/transparency costs; they are calibrated, not derived — the
+		// paper likewise measures the threshold empirically because these
+		// codepaths resist analytical modelling (§5.3). Together with the
+		// refcount metadata cache accesses they place the copy/zero-copy
+		// crossover between 256 B and 512 B fields, matching Figures 3 and
+		// 5: copy wins at 256 B and below, scatter-gather at 512 B and up.
+		SGPostCy:              25,
+		RegistryLookupCy:      70,
+		HashProbeCy:           18,
+		PerFieldCy:            10,
+		UTF8ValidateCyPerByte: 0.5,
+		VarintCyPerByte:       2.0,
+		CompletionCy:          70,
+		// RxPacketCy + TxDescCy are calibrated so a no-serialization echo
+		// of a 4 KB object costs ≈420 ns of core time — the 77 Gbps
+		// single-core ceiling in Figure 2.
+		RxPacketCy:    550,
+		TxDescCy:      400,
+		DMABufAllocCy: 15,
+		PktHeaderCy:   15,
+	}
+}
+
+// Cycles converts a cycle count into virtual time on this CPU.
+func (c CPU) Cycles(cy float64) sim.Time {
+	return sim.Time(cy / c.FreqGHz * 1000) // cycles / (cycles/ns) → ns → ps
+}
+
+// Category labels where cycles were spent, for the Figure 11 breakdown.
+type Category int
+
+const (
+	CatRx Category = iota
+	CatDeserialize
+	CatApp
+	CatSerialize
+	CatTx
+	CatOther
+	NumCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatRx:
+		return "rx"
+	case CatDeserialize:
+		return "deserialize"
+	case CatApp:
+		return "app"
+	case CatSerialize:
+		return "serialize"
+	case CatTx:
+		return "tx"
+	default:
+		return "other"
+	}
+}
+
+// Receipt is a per-request snapshot of cycles by category.
+type Receipt struct {
+	Cycles [NumCategories]float64
+}
+
+// Total returns the summed cycles across categories.
+func (r Receipt) Total() float64 {
+	t := 0.0
+	for _, c := range r.Cycles {
+		t += c
+	}
+	return t
+}
+
+// Add accumulates other into r.
+func (r *Receipt) Add(other Receipt) {
+	for i := range r.Cycles {
+		r.Cycles[i] += other.Cycles[i]
+	}
+}
+
+// Scale divides every category by n (for averaging).
+func (r *Receipt) Scale(n float64) {
+	if n == 0 {
+		return
+	}
+	for i := range r.Cycles {
+		r.Cycles[i] /= n
+	}
+}
+
+// Meter accumulates cycle charges for one core. All functional code on that
+// core shares the meter; the owning event loop drains it into service time.
+type Meter struct {
+	CPU   CPU
+	Cache *cachesim.Hierarchy
+
+	cat     Category
+	pending float64 // cycles charged since the last Drain
+	receipt Receipt // cycles since the last TakeReceipt
+
+	// Counters for analysis.
+	BytesCopied    uint64
+	MetadataTouch  uint64
+	MetadataMisses uint64
+	SGEntriesPosts uint64
+}
+
+// NewMeter builds a meter over the given CPU and cache hierarchy.
+func NewMeter(cpu CPU, cache *cachesim.Hierarchy) *Meter {
+	return &Meter{CPU: cpu, Cache: cache}
+}
+
+// SetCategory routes subsequent charges to the given category and returns
+// the previous one so callers can restore it.
+func (m *Meter) SetCategory(c Category) Category {
+	prev := m.cat
+	m.cat = c
+	return prev
+}
+
+// Charge adds raw cycles to the current category.
+func (m *Meter) Charge(cy float64) {
+	m.pending += cy
+	m.receipt.Cycles[m.cat] += cy
+}
+
+// Access touches n bytes at the simulated address, charging cache costs.
+func (m *Meter) Access(simAddr uint64, n int) {
+	cy, _ := m.Cache.AccessRange(simAddr, n)
+	m.Charge(cy)
+}
+
+// AccessWord touches a single word (one line) and reports whether it missed
+// to DRAM.
+func (m *Meter) AccessWord(simAddr uint64) cachesim.HitLevel {
+	lvl, cy := m.Cache.Access(simAddr)
+	m.Charge(cy)
+	return lvl
+}
+
+// MetadataAccess touches a metadata word (refcount, registry node) and
+// records metadata-miss statistics.
+func (m *Meter) MetadataAccess(simAddr uint64) {
+	m.MetadataTouch++
+	if m.AccessWord(simAddr) == cachesim.HitDRAM {
+		m.MetadataMisses++
+	}
+}
+
+// Copy charges a memcpy of n bytes from srcSim to dstSim: fixed setup,
+// per-byte SIMD cost, a cached/uncached source read and a write-allocate of
+// the destination — all through the cache model.
+func (m *Meter) Copy(srcSim, dstSim uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	m.BytesCopied += uint64(n)
+	m.Charge(m.CPU.CopySetupCy + float64(n)*m.CPU.CopyPerByteCy)
+	m.Access(srcSim, n)
+	m.Access(dstSim, n)
+}
+
+// SGPost charges posting one extra scatter-gather descriptor entry.
+func (m *Meter) SGPost() {
+	m.SGEntriesPosts++
+	m.Charge(m.CPU.SGPostCy)
+}
+
+// Drain returns the cycles accumulated since the previous Drain and resets
+// the pending counter. Core event loops call this once per request to turn
+// metered work into service time.
+func (m *Meter) Drain() float64 {
+	cy := m.pending
+	m.pending = 0
+	return cy
+}
+
+// DrainTime is Drain converted to virtual time.
+func (m *Meter) DrainTime() sim.Time { return m.CPU.Cycles(m.Drain()) }
+
+// TakeReceipt returns the per-category cycles accumulated since the last
+// TakeReceipt and resets the receipt.
+func (m *Meter) TakeReceipt() Receipt {
+	r := m.receipt
+	m.receipt = Receipt{}
+	return r
+}

@@ -1,0 +1,64 @@
+package driver
+
+import (
+	"testing"
+
+	"cornflakes/internal/cachesim"
+	"cornflakes/internal/core"
+	"cornflakes/internal/loadgen"
+	"cornflakes/internal/nic"
+	"cornflakes/internal/sim"
+	"cornflakes/internal/workloads"
+)
+
+// The §7 dynamic-threshold extension, end to end: a badly misconfigured
+// threshold self-corrects toward the measured crossover while the server
+// serves real traffic.
+func TestAdaptiveThresholdSelfCorrects(t *testing.T) {
+	run := func(startThreshold, keys, l3 int) int {
+		cfg := cachesim.DefaultConfig()
+		cfg.L3.Size = l3
+		gen := workloads.NewYCSB(keys, 512, 2)
+		tb := NewTestbedCfg(nic.MellanoxCX6(), cfg)
+		srv := NewKVServer(tb.Server, SysCornflakes)
+		tb.Server.Ctx.Threshold = startThreshold
+		srv.Adaptive = core.NewAdaptiveThreshold(tb.Server.Ctx)
+		srv.Preload(gen.Records())
+		res := loadgen.Run(loadgen.Config{
+			Eng: tb.Eng, EP: tb.Client.UDP,
+			Gen: gen, Client: NewKVClient(tb.Client, SysCornflakes),
+			RatePerS: 300_000, Warmup: sim.Millisecond, Measure: 15 * sim.Millisecond, Seed: 6,
+		})
+		if srv.Errors != 0 || res.BadResponses != 0 {
+			t.Fatalf("errors during adaptive run: %d/%d", srv.Errors, res.BadResponses)
+		}
+		return tb.Server.Ctx.Threshold
+	}
+
+	// Cold store, threshold starts far too low: must rise substantially.
+	coldFinal := run(64, 16_000, 512<<10)
+	if coldFinal < 200 {
+		t.Errorf("cold-store threshold stayed at %d, want risen toward ~512", coldFinal)
+	}
+	// Warm store, threshold starts far too high: must fall substantially.
+	warmFinal := run(4096, 400, 16<<20)
+	if warmFinal > 1500 {
+		t.Errorf("warm-store threshold stayed at %d, want fallen toward ~512", warmFinal)
+	}
+}
+
+func TestAdaptiveStaysDisabledByDefault(t *testing.T) {
+	gen := workloads.NewYCSB(200, 512, 1)
+	tb := NewTestbed(nic.MellanoxCX6())
+	srv := NewKVServer(tb.Server, SysCornflakes)
+	srv.Preload(gen.Records())
+	before := tb.Server.Ctx.Threshold
+	loadgen.Run(loadgen.Config{
+		Eng: tb.Eng, EP: tb.Client.UDP,
+		Gen: gen, Client: NewKVClient(tb.Client, SysCornflakes),
+		RatePerS: 100_000, Warmup: sim.Millisecond, Measure: 5 * sim.Millisecond, Seed: 6,
+	})
+	if tb.Server.Ctx.Threshold != before {
+		t.Error("threshold moved without an adaptive controller attached")
+	}
+}

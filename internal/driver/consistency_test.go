@@ -1,0 +1,165 @@
+package driver
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cornflakes/internal/baselines"
+	"cornflakes/internal/core"
+	"cornflakes/internal/costmodel"
+	"cornflakes/internal/loadgen"
+	"cornflakes/internal/mem"
+	"cornflakes/internal/msgs"
+	"cornflakes/internal/nic"
+	"cornflakes/internal/sim"
+	"cornflakes/internal/workloads"
+)
+
+// Cross-system consistency: the same store queried through every
+// serialization system must return byte-identical values. This pins the
+// whole functional layer — request encoding, server dispatch, response
+// serialization, client decode — across all four wire formats.
+func TestAllSystemsReturnIdenticalData(t *testing.T) {
+	// Fixed records with distinctive contents.
+	var recs []workloads.KV
+	for i := 0; i < 8; i++ {
+		recs = append(recs, workloads.KV{
+			Key: []byte(fmt.Sprintf("ckey-%02d", i)),
+			Vals: [][]byte{
+				bytes.Repeat([]byte{byte(i + 1)}, 300+i*137),
+				bytes.Repeat([]byte{byte(0xA0 + i)}, 900+i*53),
+			},
+		})
+	}
+
+	fetch := func(sys System, key []byte) [][]byte {
+		tb := NewTestbed(nic.MellanoxCX6())
+		srv := NewKVServer(tb.Server, sys)
+		srv.Preload(recs)
+		client := NewKVClient(tb.Client, sys)
+		var vals [][]byte
+		tb.Client.UDP.SetRecvHandler(func(p *mem.Buf) {
+			defer p.DecRef()
+			switch sys {
+			case SysCornflakes:
+				m, err := tb.Client.Ctx.DeserializeBytes(msgs.GetListRespSchema, p.Bytes())
+				if err != nil {
+					t.Errorf("%s: decode: %v", sys, err)
+					return
+				}
+				for j := 0; j < m.ListLen(1); j++ {
+					vals = append(vals, append([]byte(nil), m.GetBytesElem(1, j)...))
+				}
+			case SysProtobuf:
+				d, err := baselines.ProtoUnmarshal(msgs.GetListRespSchema, p.Bytes(), 0, tb.Client.Meter)
+				if err != nil {
+					t.Errorf("%s: decode: %v", sys, err)
+					return
+				}
+				for _, b := range d.F[1].B {
+					vals = append(vals, append([]byte(nil), b...))
+				}
+			case SysFlatBuffers:
+				d, err := baselines.FBDecode(msgs.GetListRespSchema, p.Bytes(), 0, tb.Client.Meter)
+				if err != nil {
+					t.Errorf("%s: decode: %v", sys, err)
+					return
+				}
+				for _, b := range d.F[1].B {
+					vals = append(vals, append([]byte(nil), b...))
+				}
+			default:
+				d, err := baselines.CapnpDecode(msgs.GetListRespSchema, p.Bytes(), 0, tb.Client.Meter)
+				if err != nil {
+					t.Errorf("%s: decode: %v", sys, err)
+					return
+				}
+				for _, b := range d.F[1].B {
+					vals = append(vals, append([]byte(nil), b...))
+				}
+			}
+		})
+		payload := client.BuildStep(1, workloads.Request{
+			Op: workloads.OpGetList, Keys: [][]byte{key},
+		}, 0)
+		tb.Client.UDP.SendContiguous(payload, mem.UnpinnedSimAddr(payload))
+		tb.Eng.Run()
+		return vals
+	}
+
+	for _, rec := range recs {
+		reference := fetch(SysCornflakes, rec.Key)
+		if len(reference) != len(rec.Vals) {
+			t.Fatalf("cornflakes returned %d values for %s, want %d", len(reference), rec.Key, len(rec.Vals))
+		}
+		for j := range rec.Vals {
+			if !bytes.Equal(reference[j], rec.Vals[j]) {
+				t.Fatalf("cornflakes value %d of %s differs from stored data", j, rec.Key)
+			}
+		}
+		for _, sys := range []System{SysProtobuf, SysFlatBuffers, SysCapnProto} {
+			got := fetch(sys, rec.Key)
+			if len(got) != len(reference) {
+				t.Fatalf("%s returned %d values for %s, want %d", sys, len(got), rec.Key, len(reference))
+			}
+			for j := range reference {
+				if !bytes.Equal(got[j], reference[j]) {
+					t.Fatalf("%s value %d of %s differs from cornflakes", sys, j, rec.Key)
+				}
+			}
+		}
+	}
+}
+
+// The Figure 11 receipt plumbing: per-request receipts must cover all the
+// work (sum over receipts ≈ core busy time).
+func TestReceiptsAccountForBusyTime(t *testing.T) {
+	gen := workloads.NewYCSB(200, 1024, 2)
+	tb := NewTestbed(nic.MellanoxCX6())
+	srv := NewKVServer(tb.Server, SysCornflakes)
+	var totalCy float64
+	srv.OnReceipt = func(r costmodel.Receipt) { totalCy += r.Total() }
+	srv.Preload(gen.Records())
+	loadgen.Run(loadgen.Config{
+		Eng: tb.Eng, EP: tb.Client.UDP,
+		Gen: gen, Client: NewKVClient(tb.Client, SysCornflakes),
+		RatePerS: 50_000, Warmup: sim.Millisecond, Measure: 5 * sim.Millisecond, Seed: 8,
+	})
+	busyCy := tb.Server.Core.BusyTime.Nanoseconds() * tb.Server.Meter.CPU.FreqGHz
+	if totalCy == 0 || busyCy == 0 {
+		t.Fatal("no work recorded")
+	}
+	ratio := totalCy / busyCy
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("receipts cover %.2fx of core busy time, want ~1.0", ratio)
+	}
+}
+
+// Adaptive + segmented + COW combined smoke: the extensions compose.
+func TestExtensionsCompose(t *testing.T) {
+	tb := NewTestbed(nic.MellanoxCX6())
+	ctx := tb.Server.Ctx
+	cow := ctx.NewCOWPtr(bytes.Repeat([]byte{1}, 2048))
+	m := core.NewMessage(msgs.GetRespSchema, ctx)
+	m.SetInt(0, 1)
+	m.SetBytes(1, cow.Ptr())
+	cow.Update(bytes.Repeat([]byte{2}, 2048))
+	if err := tb.Server.UDP.SendObject(m); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	tb.Client.UDP.SetRecvHandler(func(p *mem.Buf) {
+		msg, err := tb.Client.Ctx.DeserializeBytes(msgs.GetRespSchema, p.Bytes())
+		if err == nil {
+			got = append([]byte(nil), msg.GetBytes(1)...)
+		}
+		p.DecRef()
+	})
+	tb.Eng.Run()
+	if len(got) != 2048 || got[0] != 1 {
+		t.Error("COW snapshot not preserved through send")
+	}
+	m.Release()
+	cow.Release()
+}

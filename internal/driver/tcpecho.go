@@ -1,0 +1,110 @@
+package driver
+
+import (
+	"cornflakes/internal/baselines"
+	"cornflakes/internal/mem"
+	"cornflakes/internal/msgs"
+	"cornflakes/internal/sim"
+)
+
+// TCPEchoMode selects the Figure 9 TCP echo datapath.
+type TCPEchoMode int
+
+const (
+	// TCPEchoRaw is the "raw packet echo" L3-forwarder floor: the payload
+	// goes straight back with no deserialization.
+	TCPEchoRaw TCPEchoMode = iota
+	// TCPEchoFlatBuffers deserializes and reserializes with fblite.
+	TCPEchoFlatBuffers
+	// TCPEchoCornflakes deserializes and reserializes with Cornflakes,
+	// echoing large fields zero-copy out of the receive buffer.
+	TCPEchoCornflakes
+)
+
+func (m TCPEchoMode) String() string {
+	switch m {
+	case TCPEchoRaw:
+		return "Raw packet echo"
+	case TCPEchoFlatBuffers:
+		return "FlatBuffers"
+	default:
+		return "Cornflakes"
+	}
+}
+
+// TCPEchoServer is the echo application over the TCP-lite stack (§6.2.3:
+// the Demikernel TCP integration).
+type TCPEchoServer struct {
+	N    *Node
+	Mode TCPEchoMode
+
+	Handled, Errors uint64
+}
+
+// NewTCPEchoServer attaches the server to the node's TCP connection.
+func NewTCPEchoServer(n *Node, mode TCPEchoMode) *TCPEchoServer {
+	s := &TCPEchoServer{N: n, Mode: mode}
+	n.TCP.SetRecvHandler(s.onPayload)
+	return s
+}
+
+func (s *TCPEchoServer) onPayload(p *mem.Buf) {
+	ok := s.N.Core.Submit(sim.Job{Run: func() sim.Time {
+		s.handle(p)
+		s.N.Arena.Reset()
+		return s.N.Meter.DrainTime()
+	}})
+	if !ok {
+		p.DecRef()
+	}
+}
+
+func (s *TCPEchoServer) handle(p *mem.Buf) {
+	s.Handled++
+	m := s.N.Meter
+	ctx := s.N.Ctx
+	switch s.Mode {
+	case TCPEchoRaw:
+		if err := s.N.TCP.SendContiguous(p.Bytes(), p.SimAddr()); err != nil {
+			s.Errors++
+		}
+		p.DecRef()
+
+	case TCPEchoFlatBuffers:
+		req, err := baselines.FBDecode(msgs.GetMSchema, p.Bytes(), p.SimAddr(), m)
+		if err != nil {
+			s.Errors++
+			p.DecRef()
+			return
+		}
+		resp := baselines.NewDoc(msgs.GetMSchema)
+		resp.SetInt(0, req.F[0].I)
+		for j, v := range req.F[2].B {
+			resp.AddBytes(2, v, req.F[2].Sim[j])
+		}
+		buf := baselines.FBBuild(resp, m)
+		if err := s.N.TCP.SendContiguous(buf, mem.UnpinnedSimAddr(buf)); err != nil {
+			s.Errors++
+		}
+		p.DecRef()
+
+	case TCPEchoCornflakes:
+		req, err := msgs.DeserializeGetM(ctx, p)
+		if err != nil {
+			s.Errors++
+			p.DecRef()
+			return
+		}
+		resp := msgs.NewGetM(ctx)
+		resp.SetId(req.Id())
+		n := req.ValsLen()
+		for j := 0; j < n; j++ {
+			resp.AppendVals(ctx.NewCFPtr(req.Vals(j)))
+		}
+		if err := s.N.TCP.SendObject(resp.Obj()); err != nil {
+			s.Errors++
+		}
+		resp.Release()
+		req.Release()
+	}
+}

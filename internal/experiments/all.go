@@ -1,0 +1,31 @@
+package experiments
+
+// All maps experiment ids to their implementations, one per table/figure
+// in the paper's evaluation. The per-experiment index in DESIGN.md mirrors
+// this map.
+func All() map[string]func(Scale) *Report {
+	return map[string]func(Scale) *Report{
+		"fig2":  Fig2,
+		"fig3":  Fig3,
+		"fig5":  Fig5,
+		"fig6":  Fig6,
+		"fig7":  Fig7,
+		"fig8":  Fig8,
+		"fig9":  Fig9,
+		"fig10": Fig10,
+		"fig11": Fig11,
+		"fig12": Fig12,
+		"fig13": Fig13,
+		"tab1":  Tab1,
+		"tab2":  Tab2,
+		"tab3":  Tab3,
+		"tab4":  Tab4,
+		"tab5":  Tab5,
+		// Extensions beyond the paper's evaluation (§7 future work and the
+		// Table 1 arena footnote).
+		"ext-adaptive":  ExtAdaptive,
+		"ext-arena":     ExtArena,
+		"ext-segment":   ExtSegment,
+		"ext-multicore": ExtMulticore,
+	}
+}

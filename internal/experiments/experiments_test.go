@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment runs at Quick scale and must (a) produce a table and
+// (b) pass every shape check derived from the paper's claims. These are
+// the end-to-end reproduction tests: if a code change breaks a paper
+// result — the 512-byte crossover, the hybrid win, the serialize-and-send
+// gain — one of these fails.
+
+func runExperiment(t *testing.T, id string) *Report {
+	t.Helper()
+	fn, ok := All()[id]
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	rep := fn(Quick())
+	if rep.ID != id {
+		t.Errorf("report id = %q, want %q", rep.ID, id)
+	}
+	if len(rep.Rows) == 0 {
+		t.Error("report has no rows")
+	}
+	if len(rep.Checks) == 0 {
+		t.Error("report has no shape checks")
+	}
+	for _, f := range rep.Failed() {
+		t.Errorf("shape check failed: %s", f)
+	}
+	if !strings.Contains(rep.String(), rep.Title) {
+		t.Error("String() missing title")
+	}
+	return rep
+}
+
+func TestFig2(t *testing.T)  { t.Parallel(); runExperiment(t, "fig2") }
+func TestFig3(t *testing.T)  { t.Parallel(); runExperiment(t, "fig3") }
+func TestFig5(t *testing.T)  { t.Parallel(); runExperiment(t, "fig5") }
+func TestFig6(t *testing.T)  { t.Parallel(); runExperiment(t, "fig6") }
+func TestFig7(t *testing.T)  { t.Parallel(); runExperiment(t, "fig7") }
+func TestFig8(t *testing.T)  { t.Parallel(); runExperiment(t, "fig8") }
+func TestFig9(t *testing.T)  { t.Parallel(); runExperiment(t, "fig9") }
+func TestFig10(t *testing.T) { t.Parallel(); runExperiment(t, "fig10") }
+func TestFig11(t *testing.T) { t.Parallel(); runExperiment(t, "fig11") }
+func TestFig12(t *testing.T) { t.Parallel(); runExperiment(t, "fig12") }
+func TestFig13(t *testing.T) { t.Parallel(); runExperiment(t, "fig13") }
+func TestTab1(t *testing.T)  { t.Parallel(); runExperiment(t, "tab1") }
+func TestTab2(t *testing.T)  { t.Parallel(); runExperiment(t, "tab2") }
+func TestTab3(t *testing.T)  { t.Parallel(); runExperiment(t, "tab3") }
+func TestTab4(t *testing.T)  { t.Parallel(); runExperiment(t, "tab4") }
+func TestTab5(t *testing.T)  { t.Parallel(); runExperiment(t, "tab5") }
+
+func TestExtAdaptive(t *testing.T)  { t.Parallel(); runExperiment(t, "ext-adaptive") }
+func TestExtArena(t *testing.T)     { t.Parallel(); runExperiment(t, "ext-arena") }
+func TestExtSegment(t *testing.T)   { t.Parallel(); runExperiment(t, "ext-segment") }
+func TestExtMulticore(t *testing.T) { t.Parallel(); runExperiment(t, "ext-multicore") }
+
+func TestAllRegistryComplete(t *testing.T) {
+	t.Parallel()
+	all := All()
+	want := []string{"fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "tab1", "tab2", "tab3", "tab4", "tab5",
+		"ext-adaptive", "ext-arena", "ext-segment", "ext-multicore"}
+	if len(all) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(all), len(want))
+	}
+	for _, id := range want {
+		if all[id] == nil {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	t.Parallel()
+	r := &Report{ID: "x", Title: "t", Header: []string{"a", "b"}}
+	r.Rows = append(r.Rows, []string{"1", "2"})
+	r.AddCheck("good", true, "fine")
+	r.AddCheck("bad", false, "broken %d", 7)
+	failed := r.Failed()
+	if len(failed) != 1 || !strings.Contains(failed[0], "bad") || !strings.Contains(failed[0], "broken 7") {
+		t.Errorf("Failed() = %v", failed)
+	}
+	out := r.String()
+	for _, want := range []string{"PASS", "FAIL", "broken 7", "== x: t =="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q", want)
+		}
+	}
+	if pct(110, 100) != 10.0 {
+		t.Error("pct wrong")
+	}
+	if pct(1, 0) != 0 {
+		t.Error("pct div-by-zero not guarded")
+	}
+}
+
+func TestScales(t *testing.T) {
+	t.Parallel()
+	full, quick := Full(), Quick()
+	if full.StoreKeys <= quick.StoreKeys || full.MeasureMs <= quick.MeasureMs {
+		t.Error("Full scale should exceed Quick scale")
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	t.Parallel()
+	r := &Report{ID: "x", Header: []string{"a", "b"}}
+	r.Rows = append(r.Rows, []string{"1", "two, with comma"}, []string{`quo"te`, "3"})
+	got := r.CSV()
+	want := "a,b\n1,\"two, with comma\"\n\"quo\"\"te\",3\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cornflakes/internal/core"
+	"cornflakes/internal/driver"
+	"cornflakes/internal/workloads"
+)
+
+// Fig5 reproduces Figure 5: the §5 measurement study heatmap. For each
+// (total payload size, scatter-gather entry count) cell on the YCSB
+// workload, it reports the percent difference in maximum throughput
+// between an all-scatter-gather configuration (threshold 0) and an
+// all-copy configuration (threshold ∞). The paper's crossover line falls
+// where individual fields are about 512 bytes.
+func Fig5(sc Scale) *Report {
+	r := &Report{
+		ID:     "fig5",
+		Title:  "%Δ max throughput, all-SG vs all-copy (YCSB); rows: payload, cols: SG entries",
+		Header: []string{"payload\\entries", "1", "2", "4", "8", "16"},
+	}
+	payloads := []int{512, 1024, 2048, 4096, 8192}
+	entries := []int{1, 2, 4, 8, 16}
+	diff := map[[2]int]float64{}
+
+	for _, total := range payloads {
+		row := []string{fmt.Sprintf("%d", total)}
+		for _, k := range entries {
+			seg := total / k
+			if seg < 64 || total > 8192 {
+				row = append(row, "-")
+				continue
+			}
+			// Size the store so values live in DRAM, not cache: at least
+			// 8x the 2 MB modelled L3.
+			keys := (16 << 20) / total
+			if keys < 256 {
+				keys = 256
+			}
+			if keys > 16*sc.StoreKeys {
+				keys = 16 * sc.StoreKeys
+			}
+			gen := workloads.NewYCSB(keys, seg, k)
+			sg := kvCapacity(kvOpts{
+				Sys: driver.SysCornflakes, Gen: gen, SmallCache: true,
+				Threshold: core.ThresholdAllZeroCopy, ThresholdSet: true, Scale: sc, Seed: 50,
+			})
+			cp := kvCapacity(kvOpts{
+				Sys: driver.SysCornflakes, Gen: gen, SmallCache: true,
+				Threshold: core.ThresholdAllCopy, ThresholdSet: true, Scale: sc, Seed: 50,
+			})
+			d := pct(sg.AchievedRps, cp.AchievedRps)
+			diff[[2]int{total, k}] = d
+			row = append(row, fmt.Sprintf("%+.1f%%", d))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+
+	// The crossover: SG wins when per-entry size >= 512, copy wins when
+	// per-entry size <= 256.
+	sgWins, copyWins := true, true
+	var sgEvidence, copyEvidence string
+	for cell, d := range diff {
+		seg := cell[0] / cell[1]
+		if seg >= 1024 && d <= 0 {
+			sgWins = false
+			sgEvidence = fmt.Sprintf("payload %d x%d entries: %+.1f%%", cell[0], cell[1], d)
+		}
+		if seg <= 128 && d >= 5 {
+			copyWins = false
+			copyEvidence = fmt.Sprintf("payload %d x%d entries: %+.1f%%", cell[0], cell[1], d)
+		}
+	}
+	r.AddCheck("scatter-gather wins for fields >= 1024B", sgWins, "%s", orOK(sgEvidence))
+	r.AddCheck("no scatter-gather advantage for fields <= 128B (paper: -2 to -10%)",
+		copyWins, "%s", orOK(copyEvidence))
+	d512 := diff[[2]int{1024, 2}] // 512-byte fields
+	r.AddCheck("512B fields are near the crossover (|diff| modest)",
+		d512 > -25 && d512 < 60, "at 512B fields: %+.1f%%", d512)
+	r.Notes = append(r.Notes,
+		"threshold 0 = scatter-gather everything; threshold ∞ = copy everything (§5)",
+		"paper: green crossover line at ~512-byte fields")
+	return r
+}
+
+func orOK(s string) string {
+	if s == "" {
+		return "ok"
+	}
+	return s
+}

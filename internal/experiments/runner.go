@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"math/rand/v2"
+
+	"cornflakes/internal/cachesim"
+	"cornflakes/internal/driver"
+	"cornflakes/internal/loadgen"
+	"cornflakes/internal/nic"
+	"cornflakes/internal/redis"
+	"cornflakes/internal/sim"
+	"cornflakes/internal/workloads"
+)
+
+// kvOpts configures one KV-server measurement.
+type kvOpts struct {
+	Sys driver.System
+	Gen workloads.Generator
+	// Threshold overrides the zero-copy threshold when ThresholdSet is
+	// true (0 is a meaningful value: scatter-gather everything).
+	Threshold    int
+	ThresholdSet bool
+	UseSGArray   bool
+	Profile      nic.Profile
+	// SmallCache shrinks the modelled L3 (see expCacheConfig) so that
+	// scaled-down stores stay DRAM-resident like the paper's.
+	SmallCache bool
+	Scale      Scale
+	Seed       uint64
+}
+
+func (o *kvOpts) profile() nic.Profile {
+	if o.Profile.Name == "" {
+		return nic.MellanoxCX6()
+	}
+	return o.Profile
+}
+
+// newKVTestbed builds the testbed, server and client for the options.
+func newKVTestbed(o kvOpts) (*driver.Testbed, *driver.KVServer, *driver.KVClient) {
+	cacheCfg := cachesim.DefaultConfig()
+	if o.SmallCache {
+		cacheCfg = expCacheConfig()
+	}
+	tb := driver.NewTestbedCfg(o.profile(), cacheCfg)
+	srv := driver.NewKVServer(tb.Server, o.Sys)
+	if o.ThresholdSet {
+		tb.Server.Ctx.Threshold = o.Threshold
+	}
+	srv.UseSGArray = o.UseSGArray
+	srv.Preload(o.Gen.Records())
+	return tb, srv, driver.NewKVClient(tb.Client, o.Sys)
+}
+
+// runKVAt runs one load point, returning the server core for capacity
+// accounting.
+func runKVAtCore(o kvOpts, rate float64) (loadgen.Result, *sim.Core) {
+	tb, _, client := newKVTestbed(o)
+	res := loadgen.Run(loadgen.Config{
+		Eng: tb.Eng, EP: tb.Client.UDP,
+		Gen: o.Gen, Client: client,
+		RatePerS: rate,
+		Warmup:   sim.Time(o.Scale.WarmupMs) * sim.Millisecond,
+		Measure:  sim.Time(o.Scale.MeasureMs) * sim.Millisecond,
+		Seed:     o.Seed + 1,
+	})
+	return res, tb.Server.Core
+}
+
+// runKVAt runs one load point.
+func runKVAt(o kvOpts, rate float64) loadgen.Result {
+	res, _ := runKVAtCore(o, rate)
+	return res
+}
+
+// capacityOf measures a server's service capacity precisely: it finds a
+// stable ~70%-utilization operating point and scales the achieved rate by
+// the measured core utilization. Unlike overload probing, this estimator
+// is insensitive to queueing noise, so it resolves the few-percent
+// differences the ablation experiments report (Fig. 12, Tables 4/5).
+func capacityOf(run func(rate float64) (loadgen.Result, *sim.Core), start float64) loadgen.Result {
+	rate := start
+	var out loadgen.Result
+	for i := 0; i < 6; i++ {
+		res, core := run(rate)
+		u := core.Utilization()
+		if res.Completed == 0 || u <= 0 {
+			rate /= 2
+			continue
+		}
+		if u > 0.80 {
+			// Too close to saturation: deep RX queues inflate the buffer
+			// working set and distort service times. Back well off.
+			rate *= 0.3
+			continue
+		}
+		capRps := res.AchievedRps / u
+		out = res
+		out.AchievedRps = capRps
+		out.AchievedGbps = res.AchievedGbps / u
+		if u >= 0.25 {
+			break // stable mid-utilization estimate
+		}
+		rate = 0.5 * capRps
+	}
+	return out
+}
+
+// kvCapacity is capacityOf for a KV configuration.
+func kvCapacity(o kvOpts) loadgen.Result {
+	return capacityOf(func(rate float64) (loadgen.Result, *sim.Core) {
+		return runKVAtCore(o, rate)
+	}, 100_000)
+}
+
+// maxTput escalates the offered load until the server saturates (achieved
+// falls clearly below offered), then refines around the knee, returning the
+// highest achieved result — the paper's "highest achieved throughput across
+// all offered loads". The knee matters: past saturation the deep RX queue
+// inflates the buffer working set and achieved throughput degrades, so the
+// peak sits near (not far past) the capacity.
+func maxTput(run func(rate float64) loadgen.Result, start float64) loadgen.Result {
+	rate := start
+	lastGood := start / 2
+	var best loadgen.Result
+	saturated := false
+	for i := 0; i < 9; i++ {
+		res := run(rate)
+		if res.AchievedRps > best.AchievedRps {
+			best = res
+		}
+		if res.AchievedRps < 0.90*res.SentRps {
+			saturated = true
+			break
+		}
+		lastGood = rate
+		rate *= 2
+	}
+	if saturated {
+		// Probe between the last underloaded rate and the saturating one.
+		for _, r := range loadgen.GeometricRates(lastGood*1.15, rate*0.85, 3) {
+			res := run(r)
+			if res.AchievedRps > best.AchievedRps {
+				best = res
+			}
+		}
+	}
+	return best
+}
+
+// kvMaxTput measures the highest achieved throughput for one KV config.
+func kvMaxTput(o kvOpts) loadgen.Result {
+	return maxTput(func(rate float64) loadgen.Result { return runKVAt(o, rate) }, 100_000)
+}
+
+// kvSweep runs a ladder of offered loads and returns all points plus the
+// best per the 95% rule.
+func kvSweep(o kvOpts, lo, hi float64) ([]loadgen.Result, loadgen.Result) {
+	rates := loadgen.GeometricRates(lo, hi, o.Scale.SweepPoints)
+	return loadgen.Sweep(rates, func(rate float64) loadgen.Result {
+		return runKVAt(o, rate)
+	})
+}
+
+// --- Redis runners ---
+
+type redisOpts struct {
+	Mode  redis.Mode
+	Gen   workloads.Generator
+	Scale Scale
+	Seed  uint64
+}
+
+func runRedisAtCore(o redisOpts, rate float64) (loadgen.Result, *sim.Core) {
+	tb := driver.NewTestbed(nic.MellanoxCX6())
+	srv := driver.NewRedisServer(tb.Server, o.Mode)
+	srv.Preload(o.Gen.Records())
+	res := loadgen.Run(loadgen.Config{
+		Eng: tb.Eng, EP: tb.Client.UDP,
+		Gen: o.Gen, Client: driver.NewRedisClient(tb.Client, o.Mode),
+		RatePerS: rate,
+		Warmup:   sim.Time(o.Scale.WarmupMs) * sim.Millisecond,
+		Measure:  sim.Time(o.Scale.MeasureMs) * sim.Millisecond,
+		Seed:     o.Seed + 2,
+	})
+	return res, tb.Server.Core
+}
+
+func runRedisAt(o redisOpts, rate float64) loadgen.Result {
+	res, _ := runRedisAtCore(o, rate)
+	return res
+}
+
+// redisCapacity is capacityOf for a Redis configuration.
+func redisCapacity(o redisOpts) loadgen.Result {
+	return capacityOf(func(rate float64) (loadgen.Result, *sim.Core) {
+		return runRedisAtCore(o, rate)
+	}, 100_000)
+}
+
+func redisMaxTput(o redisOpts) loadgen.Result {
+	return maxTput(func(rate float64) loadgen.Result { return runRedisAt(o, rate) }, 100_000)
+}
+
+func redisSweep(o redisOpts, lo, hi float64, points int) ([]loadgen.Result, loadgen.Result) {
+	rates := loadgen.GeometricRates(lo, hi, points)
+	return loadgen.Sweep(rates, func(rate float64) loadgen.Result {
+		return runRedisAt(o, rate)
+	})
+}
+
+// --- Echo runners ---
+
+type echoOpts struct {
+	Mode      driver.EchoMode
+	Sys       driver.System
+	FieldSize int
+	NumFields int
+	Scale     Scale
+	Seed      uint64
+}
+
+func runEchoAtCore(o echoOpts, rate float64) (loadgen.Result, *sim.Core) {
+	tb := driver.NewTestbed(nic.MellanoxCX6())
+	driver.NewEchoServer(tb.Server, o.Mode, o.Sys, o.FieldSize, o.NumFields)
+	client := &driver.EchoClient{Mode: o.Mode, Sys: o.Sys, N: tb.Client, FieldSize: o.FieldSize, NumFields: o.NumFields}
+	res := loadgen.Run(loadgen.Config{
+		Eng: tb.Eng, EP: tb.Client.UDP,
+		Gen: nopGen{}, Client: client,
+		RatePerS: rate,
+		Warmup:   sim.Time(o.Scale.WarmupMs) * sim.Millisecond,
+		Measure:  sim.Time(o.Scale.MeasureMs) * sim.Millisecond,
+		Seed:     o.Seed + 3,
+	})
+	return res, tb.Server.Core
+}
+
+func runEchoAt(o echoOpts, rate float64) loadgen.Result {
+	res, _ := runEchoAtCore(o, rate)
+	return res
+}
+
+// echoCapacity is capacityOf for an echo configuration.
+func echoCapacity(o echoOpts) loadgen.Result {
+	return capacityOf(func(rate float64) (loadgen.Result, *sim.Core) {
+		return runEchoAtCore(o, rate)
+	}, 200_000)
+}
+
+func echoMaxTput(o echoOpts) loadgen.Result {
+	return maxTput(func(rate float64) loadgen.Result { return runEchoAt(o, rate) }, 200_000)
+}
+
+// nopGen feeds the echo client, which ignores the request shape.
+type nopGen struct{}
+
+func (nopGen) Name() string            { return "echo" }
+func (nopGen) Records() []workloads.KV { return nil }
+func (nopGen) Next(*rand.Rand) workloads.Request {
+	return workloads.Request{}
+}

@@ -1,0 +1,96 @@
+// Package loadgen implements the measurement methodology of §6.1: an
+// open-loop Poisson load generator over the simulated network, latency
+// histograms with microsecond buckets, and offered-load sweeps that report
+// throughput-vs-p99 curves and the highest achieved load (points where
+// achieved load is within 95% of offered load).
+package loadgen
+
+import (
+	"fmt"
+
+	"cornflakes/internal/sim"
+)
+
+// Histogram records latencies in 250 ns buckets up to 16 ms, with an
+// overflow bucket, mirroring the paper's histogram-based measurement (at
+// finer grain, since some compared stacks differ by under a microsecond).
+type Histogram struct {
+	buckets  []uint64
+	overflow uint64
+	count    uint64
+	sum      sim.Time
+	max      sim.Time
+}
+
+const (
+	histBuckets    = 65536 // 16.384 ms at 250 ns per bucket
+	histBucketSize = 250 * sim.Nanosecond
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make([]uint64, histBuckets)}
+}
+
+// Record adds one latency sample.
+func (h *Histogram) Record(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	i := int(d / histBucketSize)
+	if i >= len(h.buckets) {
+		h.overflow++
+	} else {
+		h.buckets[i]++
+	}
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average latency.
+func (h *Histogram) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Quantile returns the p-quantile (0 < p <= 1) at bucket resolution;
+// samples in the overflow bucket report as the observed maximum.
+func (h *Histogram) Quantile(p float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = 1e-9
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(p * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			// Report the bucket's upper edge.
+			return sim.Time(i+1) * histBucketSize
+		}
+	}
+	return h.max
+}
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d p50=%v p99=%v max=%v", h.count, h.Quantile(0.50), h.Quantile(0.99), h.max)
+}

@@ -1,0 +1,140 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArenaBasic(t *testing.T) {
+	a := NewArena(4096)
+	v1 := a.Alloc(100)
+	v2 := a.Alloc(100)
+	if len(v1.Data) != 100 || len(v2.Data) != 100 {
+		t.Fatal("wrong lengths")
+	}
+	v1.Data[0] = 1
+	v2.Data[0] = 2
+	if v1.Data[0] != 1 {
+		t.Error("allocations alias")
+	}
+	if v2.Sim <= v1.Sim {
+		t.Error("sim addresses not increasing within a chunk")
+	}
+	if a.Allocs != 2 {
+		t.Errorf("Allocs = %d, want 2", a.Allocs)
+	}
+}
+
+func TestArenaAlignment(t *testing.T) {
+	a := NewArena(4096)
+	a.Alloc(3)
+	v := a.Alloc(8)
+	if v.Sim%8 != 0 {
+		t.Errorf("allocation not 8-byte aligned: sim %x", v.Sim)
+	}
+}
+
+func TestArenaZeroAlloc(t *testing.T) {
+	a := NewArena(4096)
+	v := a.Alloc(0)
+	if v.Data != nil {
+		t.Error("zero alloc returned data")
+	}
+}
+
+func TestArenaNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Alloc did not panic")
+		}
+	}()
+	NewArena(4096).Alloc(-1)
+}
+
+func TestArenaGrowsAcrossChunks(t *testing.T) {
+	a := NewArena(4096)
+	v1 := a.Alloc(3000)
+	v2 := a.Alloc(3000) // doesn't fit in remaining space; new chunk
+	if v1.Sim/4096 == v2.Sim/4096 && v2.Sim-v1.Sim < 3000 {
+		t.Error("second allocation overlaps first")
+	}
+	if a.Footprint() < 8192 {
+		t.Errorf("footprint = %d, want >= 8192", a.Footprint())
+	}
+}
+
+func TestArenaOversized(t *testing.T) {
+	a := NewArena(4096)
+	v := a.Alloc(10000)
+	if len(v.Data) != 10000 {
+		t.Fatal("oversized alloc wrong size")
+	}
+	// Normal allocation still works and does not overlap.
+	v2 := a.Alloc(100)
+	v2.Data[0] = 7
+	if v.Data[0] == 7 {
+		t.Error("oversized and normal chunks alias")
+	}
+}
+
+func TestArenaResetReusesChunks(t *testing.T) {
+	a := NewArena(4096)
+	v1 := a.Alloc(100)
+	sim1 := v1.Sim
+	foot := a.Footprint()
+	a.Reset()
+	v2 := a.Alloc(100)
+	if v2.Sim != sim1 {
+		t.Errorf("after Reset sim addr %x, want reuse of %x", v2.Sim, sim1)
+	}
+	if a.Footprint() != foot {
+		t.Errorf("Reset changed footprint %d -> %d", foot, a.Footprint())
+	}
+	if a.Allocs != 1 {
+		t.Errorf("Allocs after reset = %d, want 1", a.Allocs)
+	}
+}
+
+func TestArenaResetDropsOversized(t *testing.T) {
+	a := NewArena(4096)
+	a.Alloc(100000)
+	a.Reset()
+	if a.Footprint() > 4096 {
+		t.Errorf("oversized chunk retained after Reset: footprint %d", a.Footprint())
+	}
+}
+
+func TestArenaMinChunk(t *testing.T) {
+	a := NewArena(1)
+	if a.chunkSize != 4096 {
+		t.Errorf("chunkSize = %d, want clamped to 4096", a.chunkSize)
+	}
+}
+
+// Property: allocations between resets never overlap in simulated address
+// space.
+func TestArenaNoOverlapProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := NewArena(8192)
+		type span struct{ lo, hi uint64 }
+		var live []span
+		for _, s := range sizes {
+			n := int(s % 10000)
+			if n == 0 {
+				continue
+			}
+			v := a.Alloc(n)
+			lo, hi := v.Sim, v.Sim+uint64(n)
+			for _, sp := range live {
+				if lo < sp.hi && sp.lo < hi {
+					return false
+				}
+			}
+			live = append(live, span{lo, hi})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

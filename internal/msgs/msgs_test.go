@@ -1,0 +1,101 @@
+// Tests for the cfc-generated message wrappers: the generated code must
+// round-trip through the real stack exactly like the dynamic API.
+package msgs
+
+import (
+	"bytes"
+	"testing"
+
+	"cornflakes/internal/cachesim"
+	"cornflakes/internal/core"
+	"cornflakes/internal/costmodel"
+	"cornflakes/internal/mem"
+)
+
+func testCtx() *core.Ctx {
+	alloc := mem.NewAllocator()
+	arena := mem.NewArena(64 << 10)
+	meter := costmodel.NewMeter(costmodel.DefaultCPU(), cachesim.New(cachesim.DefaultConfig()))
+	return core.NewCtx(alloc, arena, meter)
+}
+
+func TestGeneratedGetMRoundTrip(t *testing.T) {
+	ctx := testCtx()
+	val := ctx.Alloc.Alloc(1024)
+	for i := range val.Bytes() {
+		val.Bytes()[i] = byte(i)
+	}
+	m := NewGetM(ctx)
+	m.SetId(42)
+	m.AppendKeys(ctx.NewCFPtr([]byte("key-0")))
+	m.AppendVals(ctx.NewCFPtr(val.Bytes()))
+
+	data := core.Marshal(m.Obj())
+	buf := ctx.Alloc.Alloc(len(data))
+	copy(buf.Bytes(), data)
+	got, err := DeserializeGetM(ctx, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Id() != 42 {
+		t.Errorf("id = %d", got.Id())
+	}
+	if got.KeysLen() != 1 || string(got.Keys(0)) != "key-0" {
+		t.Error("keys wrong")
+	}
+	if got.ValsLen() != 1 || !bytes.Equal(got.Vals(0), val.Bytes()) {
+		t.Error("vals wrong")
+	}
+	got.Release()
+	m.Release()
+	if val.Refcount() != 1 {
+		t.Errorf("refcount = %d", val.Refcount())
+	}
+}
+
+func TestGeneratedNestedBatch(t *testing.T) {
+	ctx := testCtx()
+	b := NewBatch(ctx)
+	b.SetId(7)
+	for i := 0; i < 3; i++ {
+		e := NewKVEntry(ctx)
+		e.SetKey(ctx.NewCFPtr([]byte{byte('a' + i)}))
+		e.SetVal(ctx.NewCFPtr(bytes.Repeat([]byte{byte(i)}, 100)))
+		e.SetVersion(uint64(i * 10))
+		b.AppendEntries(e)
+	}
+	data := core.Marshal(b.Obj())
+	buf := ctx.Alloc.Alloc(len(data))
+	copy(buf.Bytes(), data)
+	got, err := DeserializeBatch(ctx, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Id() != 7 || got.EntriesLen() != 3 {
+		t.Fatalf("batch header wrong: id=%d n=%d", got.Id(), got.EntriesLen())
+	}
+	for i := 0; i < 3; i++ {
+		e := got.Entries(i)
+		if string(e.Key()) != string([]byte{byte('a' + i)}) {
+			t.Errorf("entry %d key wrong", i)
+		}
+		if e.Version() != uint64(i*10) {
+			t.Errorf("entry %d version = %d", i, e.Version())
+		}
+		if !bytes.Equal(e.Val(), bytes.Repeat([]byte{byte(i)}, 100)) {
+			t.Errorf("entry %d val wrong", i)
+		}
+	}
+}
+
+func TestGeneratedGetPutSchemasDistinct(t *testing.T) {
+	if GetReqSchema == GetRespSchema || GetMSchema == BatchSchema {
+		t.Error("schema singletons alias")
+	}
+	if GetMSchema.Name != "GetM" || len(GetMSchema.Fields) != 3 {
+		t.Errorf("GetMSchema = %+v", GetMSchema)
+	}
+	if BatchSchema.Fields[1].Nested != KVEntrySchema {
+		t.Error("Batch nested schema not resolved to KVEntrySchema")
+	}
+}

@@ -1,0 +1,318 @@
+package netstack
+
+import (
+	"fmt"
+
+	"cornflakes/internal/core"
+	"cornflakes/internal/costmodel"
+	"cornflakes/internal/mem"
+	"cornflakes/internal/nic"
+	"cornflakes/internal/sim"
+	"cornflakes/internal/wire"
+)
+
+// TCPHeaderLen is Ethernet (14) + IPv4 (20) + TCP (20).
+const TCPHeaderLen = 54
+
+// TCP header field offsets within the frame (the rest of the 54 bytes model
+// the usual MAC/IP fields).
+const (
+	tcpOffSeq   = 42
+	tcpOffAck   = 46
+	tcpOffFlags = 50
+	flagData    = 1
+	flagAck     = 2
+)
+
+// defaultRTO is the initial retransmission timeout. Datacenter RTTs here
+// are a few microseconds, so a fixed small RTO with exponential backoff is
+// adequate for the echo experiments and loss tests.
+const defaultRTO = 100 * sim.Microsecond
+
+// segment is one in-flight TCP segment retained for retransmission.
+type segment struct {
+	seq    uint32
+	length int
+	// first is the DMA buffer holding packet header + object header +
+	// copied data; zc are the zero-copy application buffers. The
+	// connection holds one reference on each until the segment is
+	// cumulatively acknowledged — this is the "transmission (and potential
+	// re-transmission)" extension of the use-after-free guarantee (§3).
+	first *mem.Buf
+	zc    []*mem.Buf
+}
+
+// TCPConn is one endpoint of a TCP-lite connection (a limited integration
+// in the spirit of the paper's Demikernel TCP port, §4). Segments carry
+// whole messages: one SendObject produces one segment, and in-order
+// delivery hands each segment's payload to the receive handler. Go-back-N:
+// out-of-order segments are dropped and recovered by retransmission.
+type TCPConn struct {
+	Eng   *sim.Engine
+	Port  *nic.Port
+	Alloc *mem.Allocator
+	Meter *costmodel.Meter
+
+	sendSeq  uint32
+	sendUna  uint32
+	recvSeq  uint32
+	unacked  []*segment
+	rto      sim.Time
+	rtoTimer sim.Timer
+
+	recv func(payload *mem.Buf)
+
+	// Stats.
+	TxSegments, RxSegments uint64
+	Retransmits            uint64
+	DupAcks                uint64
+}
+
+// NewTCPConn attaches a TCP endpoint to a NIC port. Both ends of a link
+// must run TCP; the connection is modelled as pre-established.
+func NewTCPConn(eng *sim.Engine, port *nic.Port, alloc *mem.Allocator, meter *costmodel.Meter) *TCPConn {
+	c := &TCPConn{Eng: eng, Port: port, Alloc: alloc, Meter: meter, rto: defaultRTO}
+	port.SetHandler(c.onFrame)
+	return c
+}
+
+// SetRecvHandler installs the message payload handler (payload in a pinned
+// RX buffer owned by the callee).
+func (c *TCPConn) SetRecvHandler(fn func(payload *mem.Buf)) { c.recv = fn }
+
+func (c *TCPConn) writeTCPHeader(hdr []byte, seq, ack uint32, flags byte) {
+	for i := range hdr[:TCPHeaderLen] {
+		hdr[i] = 0
+	}
+	hdr[0] = 0x42
+	wire.PutU32(hdr[tcpOffSeq:], seq)
+	wire.PutU32(hdr[tcpOffAck:], ack)
+	hdr[tcpOffFlags] = flags
+	c.Meter.Charge(c.Meter.CPU.PktHeaderCy + 10) // +seq/ack state updates
+}
+
+// SendObject serializes obj into one TCP segment using the same combined
+// serialize-and-send layout as the UDP stack, and retains buffer references
+// until the segment is acknowledged.
+func (c *TCPConn) SendObject(obj core.Obj) error {
+	m := c.Meter
+	l := obj.Layout()
+	if TCPHeaderLen+l.ObjectLen() > JumboFrame {
+		return &ErrTooLarge{Size: TCPHeaderLen + l.ObjectLen()}
+	}
+
+	first := c.Alloc.Alloc(TCPHeaderLen + l.HeaderLen + l.CopyLen)
+	m.Charge(m.CPU.DMABufAllocCy)
+	c.writeTCPHeader(first.Bytes(), c.sendSeq, c.recvSeq, flagData|flagAck)
+	m.Access(first.SimAddr(), TCPHeaderLen)
+	dst := first.Bytes()[TCPHeaderLen:]
+	obj.WriteHeader(dst)
+	m.Charge(float64(l.Fields)*m.CPU.PerFieldCy + float64(l.Elems)*2)
+	m.Access(first.SimAddr()+TCPHeaderLen, l.HeaderLen)
+	cur := l.HeaderLen
+	obj.IterateCopyEntries(func(data []byte, sim uint64) {
+		m.Copy(sim, first.SimAddr()+uint64(TCPHeaderLen+cur), len(data))
+		copy(dst[cur:], data)
+		cur += len(data)
+	})
+
+	seg := &segment{seq: c.sendSeq, length: l.ObjectLen(), first: first}
+	obj.IterateZCEntries(func(buf *mem.Buf) {
+		// One reference for retransmission retention...
+		m.MetadataAccess(buf.RefcountSimAddr())
+		buf.IncRef()
+		seg.zc = append(seg.zc, buf)
+	})
+	c.sendSeq += uint32(seg.length)
+	c.unacked = append(c.unacked, seg)
+	c.TxSegments++
+	if err := c.transmit(seg); err != nil {
+		c.rollback(seg)
+		return err
+	}
+	c.armRTO()
+	return nil
+}
+
+// rollback removes a just-queued segment whose first transmission the NIC
+// rejected, releasing the retention references and restoring the sequence
+// space.
+func (c *TCPConn) rollback(seg *segment) {
+	c.unacked = c.unacked[:len(c.unacked)-1]
+	c.sendSeq = seg.seq
+	seg.first.DecRef()
+	for _, b := range seg.zc {
+		b.DecRef()
+	}
+	c.TxSegments--
+}
+
+// SendContiguous sends an already-serialized payload over the connection
+// (used by the FlatBuffers echo baseline in Figure 9).
+func (c *TCPConn) SendContiguous(payload []byte, sim uint64) error {
+	m := c.Meter
+	first := c.Alloc.Alloc(TCPHeaderLen + len(payload))
+	m.Charge(m.CPU.DMABufAllocCy)
+	c.writeTCPHeader(first.Bytes(), c.sendSeq, c.recvSeq, flagData|flagAck)
+	m.Access(first.SimAddr(), TCPHeaderLen)
+	m.Copy(sim, first.SimAddr()+TCPHeaderLen, len(payload))
+	copy(first.Bytes()[TCPHeaderLen:], payload)
+
+	seg := &segment{seq: c.sendSeq, length: len(payload), first: first}
+	c.sendSeq += uint32(seg.length)
+	c.unacked = append(c.unacked, seg)
+	c.TxSegments++
+	if err := c.transmit(seg); err != nil {
+		c.rollback(seg)
+		return err
+	}
+	c.armRTO()
+	return nil
+}
+
+// transmit posts one segment to the NIC, taking per-post references for the
+// DMA engine.
+func (c *TCPConn) transmit(seg *segment) error {
+	m := c.Meter
+	m.Charge(m.CPU.TxDescCy)
+	entries := make([]nic.SGEntry, 0, 1+len(seg.zc))
+	seg.first.IncRef() // NIC's reference on the header+copy buffer
+	entries = append(entries, nic.SGEntry{
+		Data: seg.first.Bytes(),
+		Sim:  seg.first.SimAddr(),
+		Release: func() {
+			m.Charge(m.CPU.CompletionCy)
+			seg.first.DecRef()
+		},
+	})
+	for _, b := range seg.zc {
+		m.SGPost()
+		b.IncRef() // NIC's reference
+		buf := b
+		entries = append(entries, nic.SGEntry{
+			Data: buf.Bytes(),
+			Sim:  buf.SimAddr(),
+			Release: func() {
+				m.Charge(m.CPU.CompletionCy)
+				m.MetadataAccess(buf.RefcountSimAddr())
+				buf.DecRef()
+			},
+		})
+	}
+	if err := c.Port.Send(entries); err != nil {
+		// Undo the per-post NIC references: the hardware never saw them.
+		seg.first.DecRef()
+		for _, b := range seg.zc {
+			b.DecRef()
+		}
+		return err
+	}
+	return nil
+}
+
+func (c *TCPConn) armRTO() {
+	if c.rtoTimer.Pending() || len(c.unacked) == 0 {
+		return
+	}
+	c.rtoTimer = c.Eng.After(c.rto, c.onRTO)
+}
+
+func (c *TCPConn) onRTO() {
+	if len(c.unacked) == 0 {
+		return
+	}
+	// Go-back-N: retransmit the oldest unacked segment; its buffers are
+	// still alive because the connection held references.
+	c.Retransmits++
+	c.rto *= 2
+	if err := c.transmit(c.unacked[0]); err == nil {
+		c.rtoTimer = c.Eng.After(c.rto, c.onRTO)
+	}
+}
+
+// sendAck emits a header-only ACK frame.
+func (c *TCPConn) sendAck() {
+	m := c.Meter
+	buf := c.Alloc.Alloc(TCPHeaderLen)
+	m.Charge(m.CPU.DMABufAllocCy)
+	c.writeTCPHeader(buf.Bytes(), c.sendSeq, c.recvSeq, flagAck)
+	m.Charge(m.CPU.TxDescCy)
+	c.Port.Send([]nic.SGEntry{{
+		Data:    buf.Bytes(),
+		Sim:     buf.SimAddr(),
+		Release: func() { buf.DecRef() },
+	}})
+}
+
+func (c *TCPConn) onFrame(f *nic.Frame) {
+	m := c.Meter
+	m.Charge(m.CPU.RxPacketCy)
+	if len(f.Data) < TCPHeaderLen {
+		return
+	}
+	seq := wire.GetU32(f.Data[tcpOffSeq:])
+	ack := wire.GetU32(f.Data[tcpOffAck:])
+	flags := f.Data[tcpOffFlags]
+
+	if flags&flagAck != 0 {
+		c.processAck(ack)
+	}
+	if flags&flagData == 0 {
+		return
+	}
+	payload := f.Data[TCPHeaderLen:]
+	switch {
+	case seq == c.recvSeq:
+		c.recvSeq += uint32(len(payload))
+		c.RxSegments++
+		buf := c.Alloc.Alloc(len(payload))
+		copy(buf.Bytes(), payload) // DMA write
+		c.sendAck()
+		if c.recv != nil {
+			c.recv(buf)
+		} else {
+			buf.DecRef()
+		}
+	default:
+		// Duplicate or out-of-order: drop and re-advertise our position.
+		c.DupAcks++
+		c.sendAck()
+	}
+}
+
+// processAck releases segments fully covered by the cumulative ack.
+func (c *TCPConn) processAck(ack uint32) {
+	m := c.Meter
+	advanced := false
+	for len(c.unacked) > 0 {
+		seg := c.unacked[0]
+		if int32(ack-seg.seq) < int32(seg.length) {
+			break
+		}
+		// Fully acknowledged: drop the retention references. Only now can
+		// the application's data truly be freed.
+		m.Charge(m.CPU.CompletionCy)
+		seg.first.DecRef()
+		for _, b := range seg.zc {
+			m.MetadataAccess(b.RefcountSimAddr())
+			b.DecRef()
+		}
+		c.unacked = c.unacked[1:]
+		c.sendUna = seg.seq + uint32(seg.length)
+		advanced = true
+	}
+	if advanced {
+		c.rto = defaultRTO
+		c.rtoTimer.Cancel()
+		c.armRTO()
+	}
+}
+
+// Unacked returns the number of in-flight segments (for tests).
+func (c *TCPConn) Unacked() int { return len(c.unacked) }
+
+// String summarises connection state.
+func (c *TCPConn) String() string {
+	return fmt.Sprintf("tcp{seq=%d una=%d rcv=%d inflight=%d rtx=%d}",
+		c.sendSeq, c.sendUna, c.recvSeq, len(c.unacked), c.Retransmits)
+}

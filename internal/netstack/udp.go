@@ -1,0 +1,364 @@
+// Package netstack implements the Cornflakes networking stacks: a
+// kernel-bypass-style UDP datagram stack and a TCP-lite stack, both running
+// over the simulated scatter-gather NIC.
+//
+// The UDP stack is co-designed with the serialization library: SendObject
+// accepts a core.Obj directly and serializes it straight into transmit
+// descriptors — the combined serialize-and-send API of §3.2.3. The
+// SendObjectViaSGArray path materialises the intermediate scatter-gather
+// array instead, reproducing the "without serialize-and-send" ablation of
+// Table 5. Raw building blocks (SendContiguous, SendWith, SendPinned,
+// SendSegments) give the baseline serializers exactly the datapaths §6.1.3
+// describes for each library.
+package netstack
+
+import (
+	"fmt"
+
+	"cornflakes/internal/core"
+	"cornflakes/internal/costmodel"
+	"cornflakes/internal/mem"
+	"cornflakes/internal/nic"
+	"cornflakes/internal/sim"
+)
+
+const (
+	// PacketHeaderLen is Ethernet (14) + IPv4 (20) + UDP (8).
+	PacketHeaderLen = 42
+	// JumboFrame is the maximum frame size; the paper targets data
+	// structures that fit in one jumbo frame (§2.1).
+	JumboFrame = 9000
+	// MaxPayload is the application payload budget per datagram.
+	MaxPayload = JumboFrame - PacketHeaderLen
+)
+
+// ErrTooLarge reports an object that does not fit a jumbo frame. The
+// prototype, like the paper's, does not segment UDP payloads (§4); callers
+// split objects at a higher level (as the CDN and Twitter workloads do).
+type ErrTooLarge struct{ Size int }
+
+func (e *ErrTooLarge) Error() string {
+	return fmt.Sprintf("netstack: %d-byte frame exceeds %d-byte jumbo frame", e.Size, JumboFrame)
+}
+
+// UDP is one endpoint of the datagram stack.
+type UDP struct {
+	Eng   *sim.Engine
+	Port  *nic.Port
+	Alloc *mem.Allocator
+	Meter *costmodel.Meter
+
+	// recv is invoked for each delivered payload, already placed in a
+	// pinned RX buffer (the NIC DMA-writes received frames into pre-posted
+	// DMA-safe buffers). The callee owns the buffer reference.
+	recv func(payload *mem.Buf)
+
+	// Stats.
+	TxPackets, RxPackets uint64
+	TxZCEntries          uint64
+}
+
+// NewUDP attaches a UDP endpoint to a NIC port.
+func NewUDP(eng *sim.Engine, port *nic.Port, alloc *mem.Allocator, meter *costmodel.Meter) *UDP {
+	u := &UDP{Eng: eng, Port: port, Alloc: alloc, Meter: meter}
+	port.SetHandler(u.onFrame)
+	return u
+}
+
+// SetRecvHandler installs the payload handler. The handler runs at frame
+// delivery time; servers typically enqueue work onto a sim.Core from it.
+func (u *UDP) SetRecvHandler(fn func(payload *mem.Buf)) { u.recv = fn }
+
+// onFrame models the RX datapath: the NIC has DMA-written the frame into a
+// pre-posted pinned buffer; the host poll loop pays the fixed per-packet RX
+// cost and strips the packet header.
+func (u *UDP) onFrame(f *nic.Frame) {
+	u.RxPackets++
+	u.Meter.Charge(u.Meter.CPU.RxPacketCy)
+	if len(f.Data) <= PacketHeaderLen {
+		return // runt frame
+	}
+	payload := f.Data[PacketHeaderLen:]
+	buf := u.Alloc.Alloc(len(payload))
+	copy(buf.Bytes(), payload) // DMA write: no CPU charge
+	if u.recv == nil {
+		buf.DecRef()
+		return
+	}
+	u.recv(buf)
+}
+
+// txPrep allocates a pinned transmit buffer with n bytes after the packet
+// header and writes the header.
+func (u *UDP) txPrep(n int) *mem.Buf {
+	m := u.Meter
+	buf := u.Alloc.Alloc(PacketHeaderLen + n)
+	m.Charge(m.CPU.DMABufAllocCy)
+	hdr := buf.Bytes()[:PacketHeaderLen]
+	for i := range hdr {
+		hdr[i] = 0
+	}
+	hdr[0] = 0x42 // marker: a real stack writes MACs/IPs/ports here
+	m.Charge(m.CPU.PktHeaderCy)
+	m.Access(buf.SimAddr(), PacketHeaderLen)
+	return buf
+}
+
+// post hands the gather list to the NIC, charging the base descriptor cost
+// plus one SGPost per entry beyond the first. On failure every entry's
+// Release hook runs immediately so buffer references are not leaked.
+func (u *UDP) post(entries []nic.SGEntry) error {
+	m := u.Meter
+	m.Charge(m.CPU.TxDescCy)
+	for i := 1; i < len(entries); i++ {
+		m.SGPost()
+	}
+	total := 0
+	for _, e := range entries {
+		total += len(e.Data)
+	}
+	err := error(nil)
+	if total > JumboFrame {
+		err = &ErrTooLarge{Size: total}
+	} else {
+		err = u.Port.Send(entries)
+	}
+	if err != nil {
+		for _, e := range entries {
+			if e.Release != nil {
+				e.Release()
+			}
+		}
+		return err
+	}
+	u.TxPackets++
+	u.TxZCEntries += uint64(len(entries) - 1)
+	return nil
+}
+
+// releaseBuf returns a completion hook that pays the completion cost and
+// drops the buffer reference when the NIC finishes reading it.
+func (u *UDP) releaseBuf(buf *mem.Buf) func() {
+	m := u.Meter
+	return func() {
+		m.Charge(m.CPU.CompletionCy)
+		m.MetadataAccess(buf.RefcountSimAddr())
+		buf.DecRef()
+	}
+}
+
+// SendObject is the combined serialize-and-send path (§3.2.3): the packet
+// header, object header and copied fields share the first scatter-gather
+// entry; each zero-copy field adds one entry pointing directly at pinned
+// application memory, with the refcount held until DMA completion.
+func (u *UDP) SendObject(obj core.Obj) error {
+	m := u.Meter
+	l := obj.Layout()
+	if PacketHeaderLen+l.ObjectLen() > JumboFrame {
+		return &ErrTooLarge{Size: PacketHeaderLen + l.ObjectLen()}
+	}
+
+	// First entry: packet header + object header region + copied data.
+	first := u.txPrep(l.HeaderLen + l.CopyLen)
+	dst := first.Bytes()[PacketHeaderLen:]
+	obj.WriteHeader(dst)
+	m.Charge(float64(l.Fields)*m.CPU.PerFieldCy + float64(l.Elems)*2)
+	m.Access(first.SimAddr()+PacketHeaderLen, l.HeaderLen)
+
+	cur := l.HeaderLen
+	obj.IterateCopyEntries(func(data []byte, sim uint64) {
+		// The second copy of the copied path: arena → DMA buffer, cheap
+		// because the source was just written (§2.2, §3.2.2).
+		m.Copy(sim, first.SimAddr()+uint64(PacketHeaderLen+cur), len(data))
+		copy(dst[cur:], data)
+		cur += len(data)
+	})
+
+	entries := make([]nic.SGEntry, 0, 1+l.NumZC)
+	entries = append(entries, nic.SGEntry{
+		Data:    first.Bytes(),
+		Sim:     first.SimAddr(),
+		Release: u.releaseBuf(first),
+	})
+	// Entries available for zero-copy data after the header entry; when the
+	// object exceeds the hardware limit, reserve one slot for the
+	// extension buffer that absorbs the overflow.
+	zcCap := u.Port.Profile().MaxSGEntries - 1
+	if l.NumZC > zcCap {
+		zcCap--
+	}
+	var overflow []*mem.Buf
+	taken := 0
+	obj.IterateZCEntries(func(buf *mem.Buf) {
+		if taken < zcCap {
+			taken++
+			// The NIC reads application memory asynchronously: take a
+			// reference on behalf of the DMA, released at completion.
+			m.MetadataAccess(buf.RefcountSimAddr())
+			buf.IncRef()
+			entries = append(entries, nic.SGEntry{
+				Data:    buf.Bytes(),
+				Sim:     buf.SimAddr(),
+				Release: u.releaseBuf(buf),
+			})
+		} else {
+			overflow = append(overflow, buf)
+		}
+	})
+	if len(overflow) > 0 {
+		// Hardware SG limit reached (e.g. Intel E810's 8 entries): copy the
+		// remaining zero-copy fields into one extension buffer. Order is
+		// preserved because overflow entries are the last in layout order.
+		total := 0
+		for _, b := range overflow {
+			total += b.Len()
+		}
+		ext := u.Alloc.Alloc(total)
+		m.Charge(m.CPU.DMABufAllocCy)
+		cur := 0
+		for _, b := range overflow {
+			m.Copy(b.SimAddr(), ext.SimAddr()+uint64(cur), b.Len())
+			copy(ext.Bytes()[cur:], b.Bytes())
+			cur += b.Len()
+		}
+		entries = append(entries, nic.SGEntry{
+			Data:    ext.Bytes(),
+			Sim:     ext.SimAddr(),
+			Release: u.releaseBuf(ext),
+		})
+	}
+	return u.post(entries)
+}
+
+// SendObjectViaSGArray is the ablation path for Table 5: serialization and
+// networking are independent layers, so the library materialises an
+// intermediate scatter-gather array (header+copied data as its first
+// element, zero-copy fields after), and the stack prepends its own packet
+// header entry and re-walks the array. Costs: one vector allocation, one
+// extra scatter-gather entry, and a second pass over the array.
+func (u *UDP) SendObjectViaSGArray(obj core.Obj) error {
+	m := u.Meter
+	l := obj.Layout()
+	if PacketHeaderLen+l.ObjectLen() > JumboFrame {
+		return &ErrTooLarge{Size: PacketHeaderLen + l.ObjectLen()}
+	}
+
+	// --- Serialization layer: build the SG array. ---
+	m.Charge(m.CPU.HeapAllocCy) // the intermediate array allocation
+	type sge struct {
+		data []byte
+		sim  uint64
+		buf  *mem.Buf
+	}
+	arr := make([]sge, 0, 1+l.NumZC)
+
+	objBuf := u.Alloc.Alloc(l.HeaderLen + l.CopyLen)
+	m.Charge(m.CPU.DMABufAllocCy)
+	obj.WriteHeader(objBuf.Bytes())
+	m.Charge(float64(l.Fields)*m.CPU.PerFieldCy + float64(l.Elems)*2)
+	m.Access(objBuf.SimAddr(), l.HeaderLen)
+	cur := l.HeaderLen
+	obj.IterateCopyEntries(func(data []byte, sim uint64) {
+		m.Copy(sim, objBuf.SimAddr()+uint64(cur), len(data))
+		copy(objBuf.Bytes()[cur:], data)
+		cur += len(data)
+	})
+	arr = append(arr, sge{data: objBuf.Bytes(), sim: objBuf.SimAddr(), buf: objBuf})
+	obj.IterateZCEntries(func(buf *mem.Buf) {
+		m.MetadataAccess(buf.RefcountSimAddr())
+		buf.IncRef()
+		arr = append(arr, sge{data: buf.Bytes(), sim: buf.SimAddr(), buf: buf})
+	})
+
+	// --- Networking layer: walk the array again, prepend header entry. ---
+	hdrBuf := u.txPrep(0)
+	entries := make([]nic.SGEntry, 0, 1+len(arr))
+	entries = append(entries, nic.SGEntry{
+		Data:    hdrBuf.Bytes(),
+		Sim:     hdrBuf.SimAddr(),
+		Release: u.releaseBuf(hdrBuf),
+	})
+	for i := range arr {
+		e := arr[i]
+		m.Charge(5) // per-element transform while re-walking the array
+		entries = append(entries, nic.SGEntry{
+			Data:    e.data,
+			Sim:     e.sim,
+			Release: u.releaseBuf(e.buf),
+		})
+	}
+	m.Access(mem.UnpinnedSimAddr(objBuf.Bytes()), len(arr)*24) // array touch
+	if len(entries) > u.Port.Profile().MaxSGEntries {
+		return &nic.ErrTooManyEntries{Entries: len(entries), Max: u.Port.Profile().MaxSGEntries}
+	}
+	return u.post(entries)
+}
+
+// SendContiguous transmits an already-serialized contiguous payload by
+// copying it into a DMA buffer (the FlatBuffers and Redis datapath:
+// "FlatBuffers and Redis use a contiguous buffer", §6.1.3).
+func (u *UDP) SendContiguous(payload []byte, sim uint64) error {
+	buf := u.txPrep(len(payload))
+	u.Meter.Copy(sim, buf.SimAddr()+PacketHeaderLen, len(payload))
+	copy(buf.Bytes()[PacketHeaderLen:], payload)
+	return u.post([]nic.SGEntry{{Data: buf.Bytes(), Sim: buf.SimAddr(), Release: u.releaseBuf(buf)}})
+}
+
+// SendWith allocates a DMA buffer of the given payload size and lets fill
+// serialize directly into it (the Protobuf datapath: "Protobuf serializes
+// from Protobuf structs into DMA-safe memory directly", §6.1.3). fill
+// returns the actual payload length.
+func (u *UDP) SendWith(size int, fill func(dst []byte, dstSim uint64) int) error {
+	buf := u.txPrep(size)
+	n := fill(buf.Bytes()[PacketHeaderLen:], buf.SimAddr()+PacketHeaderLen)
+	if n < size {
+		buf.Resize(PacketHeaderLen + n)
+	}
+	return u.post([]nic.SGEntry{{Data: buf.Bytes(), Sim: buf.SimAddr(), Release: u.releaseBuf(buf)}})
+}
+
+// SendSegments copies a list of segments into one DMA buffer (the Cap'n
+// Proto datapath: "a non-contiguous list of buffers that represent the
+// object", §6.1.3).
+func (u *UDP) SendSegments(segs [][]byte, sims []uint64) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	buf := u.txPrep(total)
+	cur := PacketHeaderLen
+	for i, s := range segs {
+		u.Meter.Copy(sims[i], buf.SimAddr()+uint64(cur), len(s))
+		copy(buf.Bytes()[cur:], s)
+		cur += len(s)
+	}
+	return u.post([]nic.SGEntry{{Data: buf.Bytes(), Sim: buf.SimAddr(), Release: u.releaseBuf(buf)}})
+}
+
+// SendPinned transmits pinned buffers zero-copy, one SG entry each, after a
+// header entry. With safe=true it performs (and charges) the full
+// memory-safety protocol: registry lookup, refcount increment now,
+// metered decrement at completion. With safe=false it models the "raw
+// scatter-gather" upper bound of §2.4: the buffers are still held until
+// DMA completes (that is physics, not software), but none of the software
+// bookkeeping is charged. The caller's own references are untouched.
+func (u *UDP) SendPinned(bufs []*mem.Buf, safe bool) error {
+	m := u.Meter
+	hdrBuf := u.txPrep(0)
+	entries := make([]nic.SGEntry, 0, 1+len(bufs))
+	entries = append(entries, nic.SGEntry{Data: hdrBuf.Bytes(), Sim: hdrBuf.SimAddr(), Release: u.releaseBuf(hdrBuf)})
+	for _, b := range bufs {
+		e := nic.SGEntry{Data: b.Bytes(), Sim: b.SimAddr()}
+		b.IncRef()
+		if safe {
+			m.Charge(m.CPU.RegistryLookupCy)
+			m.MetadataAccess(b.RefcountSimAddr())
+			e.Release = u.releaseBuf(b)
+		} else {
+			buf := b
+			e.Release = func() { buf.DecRef() } // uncharged: raw upper bound
+		}
+		entries = append(entries, e)
+	}
+	return u.post(entries)
+}

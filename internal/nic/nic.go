@@ -1,0 +1,255 @@
+// Package nic simulates a commodity scatter-gather NIC pair connected by a
+// link, substituting for the Mellanox ConnectX-5/6 and Intel E810 hardware
+// in the paper's testbed.
+//
+// The model captures what matters for the copy/zero-copy tradeoff:
+//
+//   - Scatter-gather transmit: a packet is described by a list of SG
+//     entries; the NIC issues one PCIe read per entry to gather them
+//     ("tells the NIC to make three PCIe requests to coalesce the buffers",
+//     Fig. 1). NIC-side gather costs latency and NIC bandwidth, not host
+//     CPU cycles — host-side descriptor costs are charged by the cost
+//     model, not here.
+//   - A per-profile maximum SG entry count (the Intel E810 supports only 8,
+//     §6.3); exceeding it is a send error the stack must avoid.
+//   - Link serialization at the configured rate and propagation delay.
+//   - Asynchronous completion: each entry's Release hook fires only after
+//     the DMA engine has read the data, which is what makes use-after-free
+//     protection necessary in the first place (§2.3).
+//
+// Functionally the NIC gathers real bytes: the delivered frame is the exact
+// concatenation of the SG entries, so receivers parse genuine wire bytes.
+package nic
+
+import (
+	"fmt"
+
+	"cornflakes/internal/sim"
+)
+
+// Profile describes one NIC model.
+type Profile struct {
+	Name string
+	// MaxSGEntries is the hardware limit on scatter-gather entries per
+	// frame, including the entry holding the packet header.
+	MaxSGEntries int
+	// LinkGbps is the port rate.
+	LinkGbps float64
+	// PerEntryDMANs is the added gather *latency* per SG entry: each entry
+	// is one more PCIe read in the pipeline, so a many-entry frame takes
+	// longer to assemble — but reads overlap, so the per-entry *occupancy*
+	// (EntryOccupancyNs) is far smaller.
+	PerEntryDMANs float64
+	// PerPacketNs is fixed NIC processing latency per frame.
+	PerPacketNs float64
+	// PacketOccupancyNs and EntryOccupancyNs are the DMA engine's
+	// throughput costs: the pipeline issues a new frame every
+	// PacketOccupancyNs + entries*EntryOccupancyNs + bytes/DMAGbps,
+	// regardless of the end-to-end assembly latency.
+	PacketOccupancyNs float64
+	EntryOccupancyNs  float64
+	// DMAGbps is the DMA engine's effective read bandwidth.
+	DMAGbps float64
+}
+
+// MellanoxCX5Ex models the CloudLab c6525-100g NIC used for the §5
+// measurement study.
+func MellanoxCX5Ex() Profile {
+	return Profile{
+		Name:              "Mellanox CX-5Ex",
+		MaxSGEntries:      64,
+		LinkGbps:          100,
+		PerEntryDMANs:     55,
+		PerPacketNs:       300,
+		PacketOccupancyNs: 8,
+		EntryOccupancyNs:  2,
+		DMAGbps:           200,
+	}
+}
+
+// MellanoxCX6 models the ConnectX-6 NICs used for the end-to-end
+// experiments (§6.1.1).
+func MellanoxCX6() Profile {
+	return Profile{
+		Name:              "Mellanox CX-6",
+		MaxSGEntries:      64,
+		LinkGbps:          100,
+		PerEntryDMANs:     50,
+		PerPacketNs:       280,
+		PacketOccupancyNs: 7,
+		EntryOccupancyNs:  2,
+		DMAGbps:           220,
+	}
+}
+
+// IntelE810 models the E810-CQDA2, which "supports only up to 8
+// scatter-gather entries" (§6.3).
+func IntelE810() Profile {
+	return Profile{
+		Name:              "Intel E810-CQDA2",
+		MaxSGEntries:      8,
+		LinkGbps:          100,
+		PerEntryDMANs:     65,
+		PerPacketNs:       320,
+		PacketOccupancyNs: 10,
+		EntryOccupancyNs:  3,
+		DMAGbps:           200,
+	}
+}
+
+// SGEntry is one element of a transmit gather list.
+type SGEntry struct {
+	// Data is the real bytes the NIC will place in the frame.
+	Data []byte
+	// Sim is the simulated physical address of Data (for diagnostics; DMA
+	// reads are not routed through the CPU cache model — DMA on these
+	// platforms does not allocate into CPU caches).
+	Sim uint64
+	// Release, if non-nil, runs when the DMA engine has finished reading
+	// this entry. The networking stack uses it to drop its buffer
+	// reference (use-after-free protection).
+	Release func()
+}
+
+// Frame is a received packet.
+type Frame struct {
+	Data []byte
+	// SentAt is when the sender posted the frame (for RTT bookkeeping in
+	// tests; real stacks carry timestamps in payloads).
+	SentAt sim.Time
+}
+
+// Handler consumes received frames.
+type Handler func(*Frame)
+
+// Port is one NIC attached to one end of a link.
+type Port struct {
+	eng     *sim.Engine
+	prof    Profile
+	peer    *Port
+	propag  sim.Time
+	handler Handler
+
+	dmaFree sim.Time // DMA engine availability
+	txFree  sim.Time // wire availability
+
+	// InjectLoss, when set, is consulted per frame after DMA completes;
+	// returning true drops the frame on the wire (buffers are still
+	// released — the hardware has read them). Tests use it to exercise
+	// retransmission paths.
+	InjectLoss func(data []byte) bool
+
+	// DroppedFrames counts frames lost to InjectLoss.
+	DroppedFrames uint64
+
+	// Stats.
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+	TxSGEntries        uint64
+}
+
+// Link connects two new ports with the given profiles and one-way
+// propagation delay (wire + switch).
+func Link(eng *sim.Engine, a, b Profile, propagation sim.Time) (*Port, *Port) {
+	pa := &Port{eng: eng, prof: a, propag: propagation}
+	pb := &Port{eng: eng, prof: b, propag: propagation}
+	pa.peer = pb
+	pb.peer = pa
+	return pa, pb
+}
+
+// Profile returns the port's NIC profile.
+func (p *Port) Profile() Profile { return p.prof }
+
+// SetHandler installs the receive callback. Frames arriving with no handler
+// are dropped.
+func (p *Port) SetHandler(h Handler) { p.handler = h }
+
+// ErrTooManyEntries is returned when a gather list exceeds the NIC limit.
+type ErrTooManyEntries struct {
+	Entries, Max int
+}
+
+func (e *ErrTooManyEntries) Error() string {
+	return fmt.Sprintf("nic: %d scatter-gather entries exceeds hardware limit %d", e.Entries, e.Max)
+}
+
+// Send posts a frame described by a gather list. The NIC asynchronously:
+//  1. gathers the entries over PCIe (DMA engine is a FIFO resource),
+//  2. fires each entry's Release when its data has been read,
+//  3. serializes the frame onto the wire (the wire is a FIFO resource),
+//  4. delivers it to the peer after the propagation delay.
+//
+// The frame contents are snapshotted at gather completion, consistent with
+// hardware: mutating a buffer before DMA finishes is a race the paper's
+// safety model explicitly does not protect against.
+func (p *Port) Send(entries []SGEntry) error {
+	if len(entries) == 0 {
+		return fmt.Errorf("nic: empty gather list")
+	}
+	if len(entries) > p.prof.MaxSGEntries {
+		return &ErrTooManyEntries{Entries: len(entries), Max: p.prof.MaxSGEntries}
+	}
+	total := 0
+	for _, e := range entries {
+		total += len(e.Data)
+	}
+	now := p.eng.Now()
+	p.TxFrames++
+	p.TxBytes += uint64(total)
+	p.TxSGEntries += uint64(len(entries))
+
+	// DMA engine occupancy (pipeline issue rate) vs assembly latency: the
+	// engine frees up after the occupancy, while the frame finishes
+	// assembling after the additional pipelined latency.
+	occupancy := sim.FromNanos(p.prof.PacketOccupancyNs +
+		p.prof.EntryOccupancyNs*float64(len(entries)) +
+		float64(total)*8/p.prof.DMAGbps)
+	latency := sim.FromNanos(p.prof.PerPacketNs +
+		p.prof.PerEntryDMANs*float64(len(entries)))
+	dmaStart := max(now, p.dmaFree)
+	p.dmaFree = dmaStart + occupancy
+	dmaDone := dmaStart + occupancy + latency
+
+	// Wire occupancy: frame serialization at line rate.
+	wireTime := sim.FromNanos(float64(total) * 8 / p.prof.LinkGbps)
+	txStart := max(dmaDone, p.txFree)
+	txDone := txStart + wireTime
+	p.txFree = txDone
+
+	sentAt := now
+	ents := entries
+	p.eng.At(dmaDone, func() {
+		// Snapshot the frame exactly when the hardware has read it, then
+		// release the buffers.
+		data := make([]byte, 0, total)
+		for _, e := range ents {
+			data = append(data, e.Data...)
+		}
+		for _, e := range ents {
+			if e.Release != nil {
+				e.Release()
+			}
+		}
+		if p.InjectLoss != nil && p.InjectLoss(data) {
+			p.DroppedFrames++
+			return
+		}
+		peer := p.peer
+		p.eng.At(txDone+p.propag, func() {
+			peer.RxFrames++
+			peer.RxBytes += uint64(len(data))
+			if peer.handler != nil {
+				peer.handler(&Frame{Data: data, SentAt: sentAt})
+			}
+		})
+	})
+	return nil
+}
+
+func max(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package nic
+
+import (
+	"testing"
+
+	"cornflakes/internal/sim"
+)
+
+// The DMA model separates pipeline occupancy from assembly latency: a
+// stream of frames must sustain the occupancy rate even though each frame
+// individually takes far longer to assemble.
+func TestDMAOccupancyVsLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	prof := MellanoxCX6()
+	a, b := Link(eng, prof, prof, 0)
+	var arrivals []sim.Time
+	b.SetHandler(func(f *Frame) { arrivals = append(arrivals, eng.Now()) })
+
+	const frames = 20
+	for i := 0; i < frames; i++ {
+		a.Send([]SGEntry{{Data: make([]byte, 1024)}})
+	}
+	eng.Run()
+	if len(arrivals) != frames {
+		t.Fatalf("delivered %d frames", len(arrivals))
+	}
+	// First-frame latency includes the full assembly pipeline.
+	firstLatency := arrivals[0]
+	wantLatency := sim.FromNanos(prof.PerPacketNs + prof.PerEntryDMANs)
+	if firstLatency < wantLatency {
+		t.Errorf("first frame arrived at %v, before the assembly latency %v", firstLatency, wantLatency)
+	}
+	// Steady-state spacing is bounded by max(occupancy, wire time), far
+	// below the assembly latency.
+	occupancy := prof.PacketOccupancyNs + prof.EntryOccupancyNs + 1024*8/prof.DMAGbps
+	wire := 1024 * 8 / prof.LinkGbps
+	bound := occupancy
+	if wire > bound {
+		bound = wire
+	}
+	for i := frames / 2; i < frames; i++ {
+		gap := (arrivals[i] - arrivals[i-1]).Nanoseconds()
+		if gap > bound*1.2 {
+			t.Fatalf("steady-state gap %v ns exceeds pipeline bound %v ns", gap, bound)
+		}
+	}
+}
+
+// Determinism: identical schedules produce identical delivery timelines.
+func TestNICDeterminism(t *testing.T) {
+	run := func() []sim.Time {
+		eng := sim.NewEngine()
+		a, b := Link(eng, MellanoxCX5Ex(), IntelE810(), sim.FromNanos(777))
+		var times []sim.Time
+		b.SetHandler(func(f *Frame) { times = append(times, eng.Now()) })
+		for i := 1; i <= 10; i++ {
+			size := i * 333
+			eng.After(sim.Time(i)*sim.Microsecond, func() {
+				a.Send([]SGEntry{{Data: make([]byte, size)}})
+			})
+		}
+		eng.Run()
+		return times
+	}
+	x, y := run(), run()
+	if len(x) != len(y) {
+		t.Fatal("different delivery counts")
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("delivery %d differs: %v vs %v", i, x[i], y[i])
+		}
+	}
+}

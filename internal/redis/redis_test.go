@@ -1,0 +1,194 @@
+package redis
+
+import (
+	"bytes"
+	"testing"
+
+	"cornflakes/internal/baselines"
+	"cornflakes/internal/cachesim"
+	"cornflakes/internal/costmodel"
+	"cornflakes/internal/kvstore"
+	"cornflakes/internal/mem"
+)
+
+func newServer(mode Mode) (*Server, *costmodel.Meter) {
+	alloc := mem.NewAllocator()
+	meter := costmodel.NewMeter(costmodel.DefaultCPU(), cachesim.New(cachesim.DefaultConfig()))
+	store := kvstore.New(alloc, meter)
+	return New(store, mode), meter
+}
+
+func respCmd(m *costmodel.Meter, args ...string) []byte {
+	var bs [][]byte
+	for _, a := range args {
+		bs = append(bs, []byte(a))
+	}
+	return baselines.RESPEncodeCommand(m, bs...)
+}
+
+func parseReply(t *testing.T, m *costmodel.Meter, reply []byte) baselines.RESPValue {
+	t.Helper()
+	if len(reply) < 8 {
+		t.Fatalf("reply missing id frame: %q", reply)
+	}
+	reply = reply[8:] // strip the request-id frame
+	v, n, err := baselines.RESPParse(reply, m)
+	if err != nil {
+		t.Fatalf("reply parse: %v (%q)", err, reply)
+	}
+	if n != len(reply) {
+		t.Fatalf("trailing bytes in reply %q", reply)
+	}
+	return v
+}
+
+func TestRESPGetSet(t *testing.T) {
+	s, m := newServer(ModeRESP)
+	reply, _, ok := s.HandleRESP(1, respCmd(m, "SET", "k1", "hello"))
+	if !ok {
+		t.Fatal("set failed")
+	}
+	v := parseReply(t, m, reply)
+	if v.Type != baselines.RESPSimple || string(v.Str) != "OK" {
+		t.Errorf("SET reply %+v", v)
+	}
+	reply, _, _ = s.HandleRESP(1, respCmd(m, "GET", "k1"))
+	v = parseReply(t, m, reply)
+	if v.Type != baselines.RESPBulk || string(v.Str) != "hello" {
+		t.Errorf("GET reply %+v", v)
+	}
+	reply, _, _ = s.HandleRESP(1, respCmd(m, "GET", "missing"))
+	if v = parseReply(t, m, reply); v.Type != baselines.RESPNull {
+		t.Errorf("missing GET reply %+v", v)
+	}
+}
+
+func TestRESPMGet(t *testing.T) {
+	s, m := newServer(ModeRESP)
+	s.HandleRESP(1, respCmd(m, "SET", "a", "va"))
+	s.HandleRESP(1, respCmd(m, "SET", "b", "vb"))
+	reply, _, _ := s.HandleRESP(1, respCmd(m, "MGET", "a", "nope", "b"))
+	v := parseReply(t, m, reply)
+	if v.Type != baselines.RESPArray || len(v.Array) != 3 {
+		t.Fatalf("MGET reply %+v", v)
+	}
+	if string(v.Array[0].Str) != "va" || v.Array[1].Type != baselines.RESPNull || string(v.Array[2].Str) != "vb" {
+		t.Errorf("MGET contents wrong: %+v", v.Array)
+	}
+}
+
+func TestRESPListOps(t *testing.T) {
+	s, m := newServer(ModeRESP)
+	reply, _, _ := s.HandleRESP(1, respCmd(m, "RPUSH", "l", "one", "two"))
+	if v := parseReply(t, m, reply); v.Type != baselines.RESPInteger || v.Int != 2 {
+		t.Fatalf("RPUSH reply %+v", v)
+	}
+	reply, _, _ = s.HandleRESP(1, respCmd(m, "RPUSH", "l", "three"))
+	if v := parseReply(t, m, reply); v.Int != 3 {
+		t.Fatalf("second RPUSH reply %+v", v)
+	}
+	reply, _, _ = s.HandleRESP(1, respCmd(m, "LRANGE", "l", "0", "-1"))
+	v := parseReply(t, m, reply)
+	if v.Type != baselines.RESPArray || len(v.Array) != 3 {
+		t.Fatalf("LRANGE reply %+v", v)
+	}
+	want := []string{"one", "two", "three"}
+	for i, w := range want {
+		if string(v.Array[i].Str) != w {
+			t.Errorf("element %d = %q, want %q", i, v.Array[i].Str, w)
+		}
+	}
+}
+
+func TestRESPErrors(t *testing.T) {
+	s, m := newServer(ModeRESP)
+	cases := [][]byte{
+		respCmd(m, "NOSUCHCMD", "x"),
+		respCmd(m, "GET"),         // arity
+		respCmd(m, "SET", "k"),    // arity
+		respCmd(m, "LRANGE", "k"), // arity
+		respCmd(m, "RPUSH", "k"),  // arity
+	}
+	for i, cmd := range cases {
+		reply, _, ok := s.HandleRESP(1, cmd)
+		if !ok {
+			continue // rejected outright is fine
+		}
+		if v := parseReply(t, m, reply); v.Type != baselines.RESPError {
+			t.Errorf("case %d: reply %+v, want error", i, v)
+		}
+	}
+	if _, _, ok := s.HandleRESP(1, []byte("garbage")); ok {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCFGet(t *testing.T) {
+	s, _ := newServer(ModeCornflakes)
+	s.Store.Put([]byte("k"), bytes.Repeat([]byte{7}, 2048))
+	r := s.HandleCF(CmdGet, CFRequest{ID: 9, Key: []byte("k")})
+	if r.ID != 9 || len(r.Vals) != 1 || r.Vals[0] == nil || r.Vals[0].Len() != 2048 {
+		t.Errorf("CF GET reply %+v", r)
+	}
+	r = s.HandleCF(CmdGet, CFRequest{ID: 10, Key: []byte("none")})
+	if len(r.Vals) != 1 || r.Vals[0] != nil {
+		t.Errorf("CF GET miss reply %+v", r)
+	}
+}
+
+func TestCFMGetAndLRange(t *testing.T) {
+	s, _ := newServer(ModeCornflakes)
+	s.Store.Put([]byte("a"), []byte("va"))
+	s.Store.Put([]byte("b"), []byte("vb"))
+	s.Store.Put([]byte("list"), []byte("x"), []byte("y"))
+	r := s.HandleCF(CmdMGet, CFRequest{ID: 1, Keys: [][]byte{[]byte("a"), []byte("b")}})
+	if !r.Multi || len(r.Vals) != 2 {
+		t.Errorf("CF MGET reply %+v", r)
+	}
+	r = s.HandleCF(CmdLRange, CFRequest{ID: 2, Key: []byte("list")})
+	if !r.Multi || len(r.Vals) != 2 || string(r.Vals[1].Bytes()) != "y" {
+		t.Errorf("CF LRANGE reply %+v", r)
+	}
+}
+
+func TestCFSet(t *testing.T) {
+	s, _ := newServer(ModeCornflakes)
+	r := s.HandleCF(CmdSet, CFRequest{ID: 3, Key: []byte("k"), Val: []byte("v")})
+	if !r.OK {
+		t.Error("CF SET not acknowledged")
+	}
+	if got := s.Store.Get([]byte("k")); got == nil || string(got.Bytes()) != "v" {
+		t.Error("CF SET did not store")
+	}
+}
+
+func TestCFUnknownCommand(t *testing.T) {
+	s, _ := newServer(ModeCornflakes)
+	before := s.Errors
+	s.HandleCF(99, CFRequest{ID: 1})
+	if s.Errors != before+1 {
+		t.Error("unknown command not counted as error")
+	}
+}
+
+func TestRequestFraming(t *testing.T) {
+	m := costmodel.NewMeter(costmodel.DefaultCPU(), cachesim.New(cachesim.DefaultConfig()))
+	payload := EncodeRESPRequest(m, 0xABCD, []byte("GET"), []byte("key"))
+	id, cmd, ok := DecodeRESPRequest(payload)
+	if !ok || id != 0xABCD {
+		t.Fatalf("framing broken: id=%x ok=%v", id, ok)
+	}
+	v, _, err := baselines.RESPParse(cmd, m)
+	if err != nil || v.Type != baselines.RESPArray || string(v.Array[0].Str) != "GET" {
+		t.Errorf("embedded command wrong: %+v, %v", v, err)
+	}
+	if _, _, ok := DecodeRESPRequest([]byte{1, 2}); ok {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeRESP.String() != "Redis" || ModeCornflakes.String() != "Redis+Cornflakes" {
+		t.Error("mode strings wrong")
+	}
+}

@@ -1,0 +1,37 @@
+package schema
+
+import (
+	"go/format"
+	"os"
+	"testing"
+)
+
+// The checked-in generated code must match what the current generator
+// produces from the checked-in schema — guarding against silent drift
+// between cmd/cfc and internal/msgs/kv.gen.go.
+func TestGeneratedKVMessagesAreCurrent(t *testing.T) {
+	src, err := os.ReadFile("../msgs/kv.proto")
+	if err != nil {
+		t.Fatalf("read schema: %v", err)
+	}
+	f, err := Parse(string(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	code, err := Generate(f, "msgs")
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	want, err := format.Source([]byte(code))
+	if err != nil {
+		t.Fatalf("format: %v", err)
+	}
+	got, err := os.ReadFile("../msgs/kv.gen.go")
+	if err != nil {
+		t.Fatalf("read generated file: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Error("internal/msgs/kv.gen.go is stale; regenerate with:\n" +
+			"  go run ./cmd/cfc -in internal/msgs/kv.proto -out internal/msgs/kv.gen.go -pkg msgs")
+	}
+}

@@ -1,0 +1,365 @@
+// Package schema implements the Cornflakes schema compiler front end: a
+// parser for the Protobuf schema language subset the paper's prototype
+// supports (§3, §4 — "a developer defines a data structure schema ... using
+// Protobuf's existing schema language"), plus the Go code generator used by
+// cmd/cfc.
+//
+// Supported syntax:
+//
+//	syntax = "proto3";          // optional
+//	package name;               // optional
+//	// comments and /* block comments */
+//	message Name {
+//	    uint64 id = 1;
+//	    repeated bytes keys = 2;
+//	    string label = 3;
+//	    Other nested = 4;       // message types may be declared later
+//	    repeated Other list = 5;
+//	}
+//
+// Scalar types: uint64, int64, uint32, int32 (all carried as 64-bit ints on
+// the wire, like the Cornflakes header format), bytes, string.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"cornflakes/internal/core"
+)
+
+// File is a parsed schema file.
+type File struct {
+	Package  string
+	Messages []*MessageDef
+}
+
+// MessageDef is one message declaration.
+type MessageDef struct {
+	Name   string
+	Fields []FieldDef
+}
+
+// FieldDef is one field declaration.
+type FieldDef struct {
+	Name     string
+	TypeName string // "uint64", "bytes", "string", or a message name
+	Repeated bool
+	Number   int
+}
+
+// ParseError carries the line of a syntax error.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("schema: line %d: %s", e.Line, e.Msg) }
+
+type token struct {
+	text string
+	line int
+}
+
+// lex splits input into identifier/number/punctuation/string tokens,
+// dropping comments.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, &ParseError{Line: line, Msg: "unterminated block comment"}
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, &ParseError{Line: line, Msg: "unterminated string"}
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, &ParseError{Line: line, Msg: "unterminated string"}
+			}
+			toks = append(toks, token{text: src[i : j+1], line: line})
+			i = j + 1
+		case strings.ContainsRune("{}=;", rune(c)):
+			toks = append(toks, token{text: string(c), line: line})
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_' || unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{text: src[i:j], line: line})
+			i = j
+		default:
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) expect(text string) error {
+	t, ok := p.next()
+	if !ok {
+		return &ParseError{Line: p.lastLine(), Msg: fmt.Sprintf("expected %q, got end of file", text)}
+	}
+	if t.text != text {
+		return &ParseError{Line: t.line, Msg: fmt.Sprintf("expected %q, got %q", text, t.text)}
+	}
+	return nil
+}
+
+func (p *parser) lastLine() int {
+	if len(p.toks) == 0 {
+		return 1
+	}
+	return p.toks[len(p.toks)-1].line
+}
+
+// Parse parses a schema file.
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch t.text {
+		case "syntax":
+			p.next()
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			v, ok := p.next()
+			if !ok || (v.text != `"proto3"` && v.text != `"proto2"`) {
+				return nil, &ParseError{Line: t.line, Msg: "syntax must be \"proto3\""}
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case "package":
+			p.next()
+			name, ok := p.next()
+			if !ok {
+				return nil, &ParseError{Line: t.line, Msg: "missing package name"}
+			}
+			f.Package = name.text
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case "message":
+			m, err := p.parseMessage()
+			if err != nil {
+				return nil, err
+			}
+			f.Messages = append(f.Messages, m)
+		default:
+			return nil, &ParseError{Line: t.line, Msg: fmt.Sprintf("unexpected token %q", t.text)}
+		}
+	}
+	if len(f.Messages) == 0 {
+		return nil, &ParseError{Line: 1, Msg: "no message declarations"}
+	}
+	return f, nil
+}
+
+func (p *parser) parseMessage() (*MessageDef, error) {
+	p.next() // "message"
+	nameTok, ok := p.next()
+	if !ok || !isIdent(nameTok.text) {
+		return nil, &ParseError{Line: nameTok.line, Msg: "invalid message name"}
+	}
+	m := &MessageDef{Name: nameTok.text}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, &ParseError{Line: p.lastLine(), Msg: "unterminated message"}
+		}
+		if t.text == "}" {
+			p.next()
+			break
+		}
+		fd, err := p.parseField()
+		if err != nil {
+			return nil, err
+		}
+		m.Fields = append(m.Fields, fd)
+	}
+	if len(m.Fields) == 0 {
+		return nil, &ParseError{Line: nameTok.line, Msg: fmt.Sprintf("message %s has no fields", m.Name)}
+	}
+	// Order fields by field number, which defines wire position.
+	sort.SliceStable(m.Fields, func(i, j int) bool { return m.Fields[i].Number < m.Fields[j].Number })
+	seen := map[int]bool{}
+	names := map[string]bool{}
+	for _, fd := range m.Fields {
+		if seen[fd.Number] {
+			return nil, &ParseError{Line: nameTok.line, Msg: fmt.Sprintf("message %s reuses field number %d", m.Name, fd.Number)}
+		}
+		if names[fd.Name] {
+			return nil, &ParseError{Line: nameTok.line, Msg: fmt.Sprintf("message %s reuses field name %s", m.Name, fd.Name)}
+		}
+		seen[fd.Number] = true
+		names[fd.Name] = true
+	}
+	return m, nil
+}
+
+func (p *parser) parseField() (FieldDef, error) {
+	var fd FieldDef
+	t, _ := p.next()
+	if t.text == "repeated" {
+		fd.Repeated = true
+		t2, ok := p.next()
+		if !ok {
+			return fd, &ParseError{Line: t.line, Msg: "missing type after repeated"}
+		}
+		t = t2
+	}
+	if !isIdent(t.text) {
+		return fd, &ParseError{Line: t.line, Msg: fmt.Sprintf("invalid type %q", t.text)}
+	}
+	fd.TypeName = t.text
+	nameTok, ok := p.next()
+	if !ok || !isIdent(nameTok.text) {
+		return fd, &ParseError{Line: t.line, Msg: "invalid field name"}
+	}
+	fd.Name = nameTok.text
+	if err := p.expect("="); err != nil {
+		return fd, err
+	}
+	numTok, ok := p.next()
+	if !ok {
+		return fd, &ParseError{Line: t.line, Msg: "missing field number"}
+	}
+	n, err := strconv.Atoi(numTok.text)
+	if err != nil || n <= 0 {
+		return fd, &ParseError{Line: numTok.line, Msg: fmt.Sprintf("invalid field number %q", numTok.text)}
+	}
+	fd.Number = n
+	if err := p.expect(";"); err != nil {
+		return fd, err
+	}
+	return fd, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if !(unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r))) {
+			return false
+		}
+	}
+	return true
+}
+
+// scalarKinds maps proto scalar types to core kinds.
+var scalarKinds = map[string]core.FieldKind{
+	"uint64": core.KindInt,
+	"int64":  core.KindInt,
+	"uint32": core.KindInt,
+	"int32":  core.KindInt,
+	"bytes":  core.KindBytes,
+	"string": core.KindString,
+}
+
+// Resolve type-checks the file and builds core.Schema values for every
+// message, resolving message-type references (forward references allowed).
+func (f *File) Resolve() (map[string]*core.Schema, error) {
+	schemas := map[string]*core.Schema{}
+	for _, m := range f.Messages {
+		if schemas[m.Name] != nil {
+			return nil, fmt.Errorf("schema: duplicate message %s", m.Name)
+		}
+		schemas[m.Name] = &core.Schema{Name: m.Name}
+	}
+	for _, m := range f.Messages {
+		s := schemas[m.Name]
+		for _, fd := range m.Fields {
+			var field core.Field
+			field.Name = fd.Name
+			if kind, ok := scalarKinds[fd.TypeName]; ok {
+				field.Kind = kind
+				if fd.Repeated {
+					switch kind {
+					case core.KindInt:
+						field.Kind = core.KindIntList
+					case core.KindBytes:
+						field.Kind = core.KindBytesList
+					case core.KindString:
+						field.Kind = core.KindStringList
+					}
+				}
+			} else if sub, ok := schemas[fd.TypeName]; ok {
+				field.Nested = sub
+				if fd.Repeated {
+					field.Kind = core.KindNestedList
+				} else {
+					field.Kind = core.KindNested
+				}
+			} else {
+				return nil, fmt.Errorf("schema: message %s field %s has unknown type %s", m.Name, fd.Name, fd.TypeName)
+			}
+			s.Fields = append(s.Fields, field)
+		}
+	}
+	// Validate only after every message's fields are populated, so forward
+	// references check out.
+	for _, m := range f.Messages {
+		if err := schemas[m.Name].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return schemas, nil
+}

@@ -1,0 +1,91 @@
+package sim
+
+// Job is a unit of work submitted to a Core. Run executes when the core
+// picks the job up and returns the service time the job occupies the core
+// for; Done (optional) fires when that service time elapses.
+type Job struct {
+	Run  func() Time
+	Done func()
+}
+
+// Core models a single CPU core as a FIFO queueing server. Work arrives via
+// Submit; the core serves one job at a time, charging the virtual clock the
+// service time each job's Run reports. This mirrors the paper's single-core
+// server setup (§6.1): a busy-spinning core that handles one packet at a
+// time, with overload visible as queue growth (rising tail latency) or RX
+// drops.
+type Core struct {
+	eng  *Engine
+	q    []Job
+	busy bool
+
+	// MaxQueue bounds the number of waiting jobs; submissions beyond it are
+	// dropped (counted in Dropped). Zero means unbounded. A bound models the
+	// finite RX descriptor ring: under overload a kernel-bypass server drops
+	// packets rather than queueing forever.
+	MaxQueue int
+
+	// Statistics.
+	BusyTime Time
+	JobsDone uint64
+	Dropped  uint64
+}
+
+// NewCore returns an idle core bound to eng.
+func NewCore(eng *Engine) *Core {
+	return &Core{eng: eng}
+}
+
+// Submit enqueues a job. It reports false if the queue bound rejected it.
+func (c *Core) Submit(j Job) bool {
+	if c.MaxQueue > 0 && len(c.q) >= c.MaxQueue {
+		c.Dropped++
+		return false
+	}
+	c.q = append(c.q, j)
+	if !c.busy {
+		c.dispatch()
+	}
+	return true
+}
+
+// QueueLen returns the number of jobs waiting (not including the one in
+// service).
+func (c *Core) QueueLen() int { return len(c.q) }
+
+// Busy reports whether a job is currently in service.
+func (c *Core) Busy() bool { return c.busy }
+
+// Utilization returns the fraction of time the core has been busy since the
+// start of the simulation.
+func (c *Core) Utilization() float64 {
+	if c.eng.Now() == 0 {
+		return 0
+	}
+	return float64(c.BusyTime) / float64(c.eng.Now())
+}
+
+func (c *Core) dispatch() {
+	if len(c.q) == 0 {
+		c.busy = false
+		return
+	}
+	c.busy = true
+	j := c.q[0]
+	// Shift rather than reslice forever so the backing array is reused.
+	copy(c.q, c.q[1:])
+	c.q = c.q[:len(c.q)-1]
+
+	d := j.Run()
+	if d < 0 {
+		d = 0
+	}
+	c.BusyTime += d
+	c.eng.After(d, func() {
+		c.JobsDone++
+		if j.Done != nil {
+			j.Done()
+		}
+		c.dispatch()
+	})
+}

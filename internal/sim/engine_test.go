@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromNanos(1).Nanoseconds(); got != 1 {
+		t.Errorf("FromNanos(1).Nanoseconds() = %v, want 1", got)
+	}
+	if got := FromMicros(2.5); got != 2500*Nanosecond {
+		t.Errorf("FromMicros(2.5) = %v, want 2500ns", got)
+	}
+	if got := FromSeconds(1); got != Second {
+		t.Errorf("FromSeconds(1) = %v, want %v", got, Second)
+	}
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond {
+		t.Error("unit ladder broken")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ps"},
+		{1500, "1.500ns"},
+		{3 * Microsecond, "3.000us"},
+		{2 * Millisecond, "2.000ms"},
+		{Second, "1.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("Run returned %v, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("events fired in order %v", order)
+	}
+}
+
+func TestEngineTieBreakBySubmission(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of submission order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.At(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Errorf("nested schedule hits = %v, want [10 15]", hits)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	now := e.RunUntil(25)
+	if now != 25 {
+		t.Errorf("RunUntil returned %v, want 25", now)
+	}
+	if len(fired) != 2 {
+		t.Errorf("fired %v, want events at 10 and 20 only", fired)
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Errorf("after resume fired %v, want all 4", fired)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(10, func() { count++; e.Stop() })
+	e.At(20, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (stopped after first event)", count)
+	}
+	e.Run()
+	if count != 2 {
+		t.Errorf("count = %d after resume, want 2", count)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.At(10, func() { fired = true })
+	if !tm.Pending() {
+		t.Error("timer should be pending before Run")
+	}
+	if !tm.Cancel() {
+		t.Error("first Cancel should succeed")
+	}
+	if tm.Cancel() {
+		t.Error("second Cancel should report false")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(10, func() {})
+	e.Run()
+	if tm.Pending() {
+		t.Error("fired timer still pending")
+	}
+	if tm.Cancel() {
+		t.Error("Cancel after fire should report false")
+	}
+}
+
+func TestTimerCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var timers []Timer
+	for i := 0; i < 20; i++ {
+		i := i
+		timers = append(timers, e.At(Time(i*10), func() { fired = append(fired, i) }))
+	}
+	// Cancel every third timer.
+	for i := 0; i < 20; i += 3 {
+		timers[i].Cancel()
+	}
+	e.Run()
+	for _, v := range fired {
+		if v%3 == 0 {
+			t.Errorf("cancelled event %d fired", v)
+		}
+	}
+	if len(fired) != 13 {
+		t.Errorf("fired %d events, want 13", len(fired))
+	}
+	// Remaining events must still fire in order.
+	for i := 1; i < len(fired); i++ {
+		if fired[i] <= fired[i-1] {
+			t.Errorf("out of order after cancellations: %v", fired)
+		}
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in nondecreasing
+// time order and the engine processes exactly one event per schedule.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var times []Time
+		for _, d := range delays {
+			e.After(Time(d), func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		if len(times) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return e.Processed() == uint64(len(delays))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoreFIFOAndBusyTime(t *testing.T) {
+	e := NewEngine()
+	c := NewCore(e)
+	var done []int
+	for i := 0; i < 3; i++ {
+		i := i
+		c.Submit(Job{
+			Run:  func() Time { return 100 },
+			Done: func() { done = append(done, i) },
+		})
+	}
+	e.Run()
+	if len(done) != 3 || done[0] != 0 || done[1] != 1 || done[2] != 2 {
+		t.Errorf("completion order %v, want [0 1 2]", done)
+	}
+	if c.BusyTime != 300 {
+		t.Errorf("BusyTime = %v, want 300", c.BusyTime)
+	}
+	if c.JobsDone != 3 {
+		t.Errorf("JobsDone = %d, want 3", c.JobsDone)
+	}
+	if e.Now() != 300 {
+		t.Errorf("clock = %v, want 300 (serialized service)", e.Now())
+	}
+}
+
+func TestCoreQueueBoundDrops(t *testing.T) {
+	e := NewEngine()
+	c := NewCore(e)
+	c.MaxQueue = 2
+	accepted := 0
+	// First Submit starts service immediately (not queued); next two queue;
+	// the rest drop.
+	for i := 0; i < 6; i++ {
+		if c.Submit(Job{Run: func() Time { return 10 }}) {
+			accepted++
+		}
+	}
+	if accepted != 3 {
+		t.Errorf("accepted %d, want 3 (1 in service + 2 queued)", accepted)
+	}
+	if c.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3", c.Dropped)
+	}
+	e.Run()
+	if c.JobsDone != 3 {
+		t.Errorf("JobsDone = %d, want 3", c.JobsDone)
+	}
+}
+
+func TestCoreWorkArrivingWhileBusy(t *testing.T) {
+	e := NewEngine()
+	c := NewCore(e)
+	var completions []Time
+	e.At(0, func() {
+		c.Submit(Job{Run: func() Time { return 100 }, Done: func() { completions = append(completions, e.Now()) }})
+	})
+	// Arrives mid-service of the first job; must wait.
+	e.At(50, func() {
+		c.Submit(Job{Run: func() Time { return 100 }, Done: func() { completions = append(completions, e.Now()) }})
+	})
+	e.Run()
+	if len(completions) != 2 || completions[0] != 100 || completions[1] != 200 {
+		t.Errorf("completions = %v, want [100 200]", completions)
+	}
+	if got := c.Utilization(); got != 1.0 {
+		t.Errorf("utilization = %v, want 1.0", got)
+	}
+}
+
+func TestCoreNegativeServiceClamped(t *testing.T) {
+	e := NewEngine()
+	c := NewCore(e)
+	c.Submit(Job{Run: func() Time { return -5 }})
+	e.Run()
+	if c.BusyTime != 0 {
+		t.Errorf("BusyTime = %v, want 0 for clamped negative service", c.BusyTime)
+	}
+}

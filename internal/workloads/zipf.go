@@ -1,0 +1,121 @@
+// Package workloads implements the paper's four workloads (§6.1.4) as
+// deterministic generators: YCSB-C (Zipf 0.99), the Google fleetwide
+// Protobuf bytes-size distribution, the Twitter cache trace mixture, and
+// the Tragen-style CDN image-object distribution.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Zipf samples ranks in [0, n) with the YCSB zipfian generator (Gray et
+// al.), which supports theta < 1 — the stdlib Zipf requires s > 1 and so
+// cannot express the paper's 0.99 coefficient.
+type Zipf struct {
+	n               uint64
+	theta           float64
+	alpha, zetan    float64
+	eta, zeta2theta float64
+}
+
+// NewZipf builds a generator over n items with the given theta (0 < theta
+// < 1; YCSB-C uses 0.99).
+func NewZipf(n uint64, theta float64) *Zipf {
+	if n == 0 || theta <= 0 || theta >= 1 {
+		panic(fmt.Sprintf("workloads: NewZipf(%d, %v)", n, theta))
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2theta = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next samples a rank; rank 0 is the most popular item.
+func (z *Zipf) Next(r *rand.Rand) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// SizeDist is a piecewise-uniform size distribution defined by CDF points:
+// P(size <= Bound[i]) = CDF[i]. Sampling picks the bucket by cumulative
+// probability and draws uniformly within it.
+type SizeDist struct {
+	Bounds []int
+	CDF    []float64
+}
+
+// Sample draws one size.
+func (d *SizeDist) Sample(r *rand.Rand) int {
+	u := r.Float64()
+	lo := 1
+	for i, c := range d.CDF {
+		if u <= c {
+			hi := d.Bounds[i]
+			if hi <= lo {
+				return hi
+			}
+			return lo + r.IntN(hi-lo+1)
+		}
+		lo = d.Bounds[i] + 1
+	}
+	return d.Bounds[len(d.Bounds)-1]
+}
+
+// FracAbove estimates P(size > threshold) analytically from the CDF.
+func (d *SizeDist) FracAbove(threshold int) float64 {
+	prev := 0.0
+	lo := 1
+	for i, c := range d.CDF {
+		hi := d.Bounds[i]
+		if threshold < lo {
+			return 1 - prev
+		}
+		if threshold <= hi {
+			// fraction of this bucket above the threshold
+			frac := float64(hi-threshold) / float64(hi-lo+1)
+			return (c-prev)*frac + (1 - c)
+		}
+		prev = c
+		lo = hi + 1
+	}
+	return 0
+}
+
+// GoogleBytesDist approximates Figure 4c of Google's fleetwide Protobuf
+// study as the paper uses it: "34% of the sampled field sizes are 8 bytes
+// or less and 94.9% are 512 or less" (§6.1.4).
+func GoogleBytesDist() *SizeDist {
+	return &SizeDist{
+		Bounds: []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192},
+		CDF:    []float64{0.34, 0.46, 0.57, 0.67, 0.79, 0.885, 0.949, 0.975, 0.99, 0.997, 1.0},
+	}
+}
+
+// TwitterValueDist approximates the Twitter cache trace #4 value sizes:
+// a mixture of small and large buffers with about 32% of requests querying
+// objects of 512 bytes or larger (§6.1.4).
+func TwitterValueDist() *SizeDist {
+	return &SizeDist{
+		Bounds: []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192},
+		CDF:    []float64{0.08, 0.16, 0.28, 0.44, 0.58, 0.68, 0.80, 0.89, 0.95, 1.0},
+	}
+}
