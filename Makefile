@@ -1,0 +1,13 @@
+.PHONY: check test bench
+
+# Full gate: vet + build + race-enabled tests (includes the 100-scenario
+# fault-injection soak).
+check:
+	./scripts/check.sh
+
+# Quick loop: skips the soak and other -short-gated sweeps.
+test:
+	go test -short ./...
+
+bench:
+	go test -bench=. -benchmem

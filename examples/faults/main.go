@@ -1,0 +1,57 @@
+// faults: TCP-lite against a hostile wire. Each scenario wraps the link in
+// a seeded faults.Plan — random and bursty loss, reordering, duplication,
+// delay jitter, and payload corruption (caught by the NIC's frame check
+// sequence) — then drives the echo and KV workloads to completion and
+// checks the three soak invariants: every request completes, every payload
+// byte-matches, and every refcount drains back to baseline. The same seeds
+// replay the same scenario bit-for-bit, so any failure here is a one-line
+// reproduction.
+//
+// Run with:
+//
+//	go run ./examples/faults
+package main
+
+import (
+	"fmt"
+
+	"cornflakes/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Fault-injection soak: TCP-lite under adversarial links")
+	fmt.Println()
+
+	// A few hand-picked seeds from the 100-scenario sweep, spanning mild
+	// jitter-only links through heavy bursty loss with corruption.
+	seeds := []uint64{1, 17, 42, 77, 100}
+	fmt.Println("  workload  result")
+	ok := true
+	for _, seed := range seeds {
+		for _, res := range []experiments.SoakResult{
+			experiments.SoakEcho(seed),
+			experiments.SoakKV(seed),
+		} {
+			status := "ok  "
+			if !res.OK() {
+				status = "FAIL"
+				ok = false
+			}
+			fmt.Printf("  %s  %v\n", status, res)
+		}
+	}
+	fmt.Println()
+
+	// The full sweep, as run by `go test ./internal/experiments -run TestSoak`
+	// and cf-bench: 100 seeded scenarios per workload.
+	rep := experiments.Soak(experiments.Quick())
+	fmt.Println(rep)
+
+	if !ok || len(rep.Failed()) > 0 {
+		fmt.Println("invariants violated — see failures above")
+		return
+	}
+	fmt.Println("All scenarios quiesced with intact payloads and zero leaked slots:")
+	fmt.Println("the §3 use-after-free guarantee holds across loss, reordering,")
+	fmt.Println("duplication and corruption, not just the clean-wire fast path.")
+}

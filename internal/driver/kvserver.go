@@ -42,10 +42,16 @@ type KVServer struct {
 	Handled, Errors uint64
 }
 
-// NewKVServer attaches a KV server to the node's UDP stack.
+// NewKVServer attaches a KV server to the node's stack: UDP normally, or
+// the TCP-lite stack when the node was built with one (the fault-injection
+// soak drives the KV workload over lossy TCP links).
 func NewKVServer(n *Node, sys System) *KVServer {
 	s := &KVServer{N: n, Store: kvstore.New(n.Alloc, n.Meter), Sys: sys}
-	n.UDP.SetRecvHandler(s.onPayload)
+	if n.TCP != nil {
+		n.TCP.SetRecvHandler(s.onPayload)
+	} else {
+		n.UDP.SetRecvHandler(s.onPayload)
+	}
 	return s
 }
 
@@ -138,7 +144,9 @@ func (s *KVServer) handle(p *mem.Buf) {
 	s.handleDoc(op, p)
 }
 
-// sendObj transmits a Cornflakes object on the configured path.
+// sendObj transmits a Cornflakes object on the configured path. The
+// segmentation and SG-array ablation paths are UDP-only; a TCP-attached
+// server uses the connection's combined serialize-and-send.
 func (s *KVServer) sendObj(obj core.Obj) {
 	var err error
 	switch {
@@ -146,6 +154,8 @@ func (s *KVServer) sendObj(obj core.Obj) {
 		err = s.Seg.SendObjectSegmented(obj)
 	case s.UseSGArray:
 		err = s.N.UDP.SendObjectViaSGArray(obj)
+	case s.N.TCP != nil:
+		err = s.N.TCP.SendObject(obj)
 	default:
 		err = s.N.UDP.SendObject(obj)
 	}

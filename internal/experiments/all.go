@@ -27,5 +27,8 @@ func All() map[string]func(Scale) *Report {
 		"ext-arena":     ExtArena,
 		"ext-segment":   ExtSegment,
 		"ext-multicore": ExtMulticore,
+		// Robustness: the fault-injection soak for TCP-lite (not a paper
+		// figure; the §3 safety claim exercised under adversarial links).
+		"soak": Soak,
 	}
 }

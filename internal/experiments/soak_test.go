@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestSoak runs the full 100-scenario fault-injection sweep over both
+// workloads (~1 s of real time). It is the acceptance gate for the
+// retransmission fixes, so it runs in the default suite; -short skips it.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping fault-injection soak in -short mode")
+	}
+	t.Parallel()
+	runExperiment(t, "soak")
+}
+
+// TestSoakScenarioReplayable: a single scenario re-run from its seed must
+// reproduce the identical outcome, including fault and retransmit counts —
+// the property that makes a soak failure debuggable in isolation.
+func TestSoakScenarioReplayable(t *testing.T) {
+	t.Parallel()
+	if a, b := SoakEcho(17), SoakEcho(17); a != b {
+		t.Errorf("echo seed 17 not replayable:\n  %v\n  %v", a, b)
+	}
+	if a, b := SoakKV(23), SoakKV(23); a != b {
+		t.Errorf("kv seed 23 not replayable:\n  %v\n  %v", a, b)
+	}
+}
+
+// TestSoakInvariantsOneScenario spot-checks the per-scenario invariant
+// fields directly (the sweep only sees aggregates).
+func TestSoakInvariantsOneScenario(t *testing.T) {
+	t.Parallel()
+	for _, res := range []SoakResult{SoakEcho(3), SoakKV(3)} {
+		if !res.OK() {
+			t.Errorf("scenario failed: %v", res)
+		}
+		if res.Completed != res.Total {
+			t.Errorf("%s: %d/%d completed", res.Workload, res.Completed, res.Total)
+		}
+	}
+}

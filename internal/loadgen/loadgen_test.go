@@ -61,6 +61,47 @@ func TestHistogramEdges(t *testing.T) {
 	h.Quantile(-1) // must not panic
 }
 
+func TestHistogramQuantileOverflowAndSingles(t *testing.T) {
+	// Single sample: every quantile is that sample's bucket edge (or the
+	// max, once it lands in the overflow bucket).
+	h := NewHistogram()
+	h.Record(3 * sim.Microsecond)
+	for _, p := range []float64{0.01, 0.5, 0.99, 1.0} {
+		got := h.Quantile(p)
+		if got < 3*sim.Microsecond || got > 3*sim.Microsecond+histBucketSize {
+			t.Errorf("single-sample Quantile(%v) = %v", p, got)
+		}
+	}
+
+	// Mixed in-range and overflow samples: low quantiles resolve from the
+	// buckets, while any quantile landing in the overflow tail reports the
+	// observed max rather than a fictitious bucket edge.
+	h = NewHistogram()
+	for i := 0; i < 90; i++ {
+		h.Record(10 * sim.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(20 * sim.Millisecond) // past the 16.384 ms bucket range
+	}
+	if got := h.Quantile(0.5); got > 11*sim.Microsecond {
+		t.Errorf("p50 = %v, want ~10us from the bucketed mass", got)
+	}
+	if got := h.Quantile(0.99); got != 20*sim.Millisecond {
+		t.Errorf("p99 = %v, want the observed max for overflow samples", got)
+	}
+	if got := h.Quantile(1.0); got != 20*sim.Millisecond {
+		t.Errorf("p100 = %v, want observed max", got)
+	}
+
+	// All samples in overflow: every quantile is the max.
+	h = NewHistogram()
+	h.Record(17 * sim.Millisecond)
+	h.Record(25 * sim.Millisecond)
+	if got := h.Quantile(0.5); got != 25*sim.Millisecond {
+		t.Errorf("all-overflow p50 = %v, want max", got)
+	}
+}
+
 // echoFixture wires an echo server with a fixed service time to a client.
 type echoFixture struct {
 	eng     *sim.Engine

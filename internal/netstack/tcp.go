@@ -29,6 +29,38 @@ const (
 // adequate for the echo experiments and loss tests.
 const defaultRTO = 100 * sim.Microsecond
 
+// maxRTO caps the exponential backoff. Without a cap, a loss burst of k
+// frames pushes the next retransmit out by defaultRTO·2^k — tens of
+// virtual seconds after a dozen losses — so a connection that could
+// recover in microseconds appears stalled. 1.6 ms is 4 doublings: deep
+// enough to shed load under persistent loss, shallow enough that recovery
+// after a burst is prompt.
+const maxRTO = 1600 * sim.Microsecond
+
+// Retransmission state machine (RTO arm / re-arm / cancel rules)
+//
+// The connection keeps go-back-N state: unacked[0] is the oldest
+// unacknowledged segment and the only one the timer ever retransmits.
+// The RTO timer obeys four rules:
+//
+//  1. Arm: armRTO schedules onRTO after the current backoff iff no timer
+//     is pending and at least one segment is unacked. It is called after
+//     every successful first transmission and after every cumulative-ack
+//     advance.
+//  2. Fire: onRTO retransmits unacked[0], doubles the backoff (capped at
+//     maxRTO), and ALWAYS re-arms — even when the retransmit itself fails
+//     (NIC TX ring full, gather-list overflow). A failed retransmit is
+//     indistinguishable from a lost one; the next timeout retries it.
+//     Re-arming only on success (the pre-fix behaviour) deadlocks the
+//     connection: no timer, no future transmission, unacked forever.
+//  3. Cancel + re-arm: when a cumulative ack advances sendUna, the backoff
+//     resets to defaultRTO, the pending timer (timing the old oldest
+//     segment) is cancelled, and armRTO starts a fresh timer iff segments
+//     remain in flight.
+//  4. Drain: when the last segment is acked, rule 3's armRTO finds
+//     unacked empty and leaves the timer off — an idle connection
+//     schedules no events, letting the simulation drain.
+
 // segment is one in-flight TCP segment retained for retransmission.
 type segment struct {
 	seq    uint32
@@ -66,6 +98,16 @@ type TCPConn struct {
 	TxSegments, RxSegments uint64
 	Retransmits            uint64
 	DupAcks                uint64
+	// RtxSendErrors counts retransmission attempts the NIC refused; the
+	// segment stays queued and the next RTO retries it.
+	RtxSendErrors uint64
+	// AckSendErrors counts ACK frames the NIC refused to post. The ACK is
+	// simply not sent — the peer's retransmission will solicit another.
+	AckSendErrors uint64
+	// EmptyDataSegs counts received data-flagged segments with a
+	// zero-length payload, which are dropped: they carry no sequence space
+	// and a zero-byte RX buffer has no slot identity to deliver.
+	EmptyDataSegs uint64
 }
 
 // NewTCPConn attaches a TCP endpoint to a NIC port. Both ends of a link
@@ -225,23 +267,36 @@ func (c *TCPConn) onRTO() {
 	// still alive because the connection held references.
 	c.Retransmits++
 	c.rto *= 2
-	if err := c.transmit(c.unacked[0]); err == nil {
-		c.rtoTimer = c.Eng.After(c.rto, c.onRTO)
+	if c.rto > maxRTO {
+		c.rto = maxRTO
 	}
+	if err := c.transmit(c.unacked[0]); err != nil {
+		c.RtxSendErrors++
+	}
+	// Re-arm unconditionally (rule 2): a refused post must be retried at
+	// the next timeout, not abandoned with the segment stuck in flight.
+	c.rtoTimer = c.Eng.After(c.rto, c.onRTO)
 }
 
-// sendAck emits a header-only ACK frame.
+// sendAck emits a header-only ACK frame. ACKs are fire-and-forget: if the
+// NIC refuses the post, the buffer's reference is dropped here (a refused
+// post never runs the Release hook) and the peer's retransmission will
+// solicit a fresh ACK.
 func (c *TCPConn) sendAck() {
 	m := c.Meter
 	buf := c.Alloc.Alloc(TCPHeaderLen)
 	m.Charge(m.CPU.DMABufAllocCy)
 	c.writeTCPHeader(buf.Bytes(), c.sendSeq, c.recvSeq, flagAck)
 	m.Charge(m.CPU.TxDescCy)
-	c.Port.Send([]nic.SGEntry{{
+	err := c.Port.Send([]nic.SGEntry{{
 		Data:    buf.Bytes(),
 		Sim:     buf.SimAddr(),
 		Release: func() { buf.DecRef() },
 	}})
+	if err != nil {
+		c.AckSendErrors++
+		buf.DecRef()
+	}
 }
 
 func (c *TCPConn) onFrame(f *nic.Frame) {
@@ -261,6 +316,14 @@ func (c *TCPConn) onFrame(f *nic.Frame) {
 		return
 	}
 	payload := f.Data[TCPHeaderLen:]
+	if len(payload) == 0 {
+		// A data-flagged segment with no payload consumes no sequence
+		// space and has nothing to deliver (a zero-byte pinned RX buffer
+		// has no slot identity); drop it. Its ACK field was processed
+		// above, so a corrupted or degenerate peer cannot stall us.
+		c.EmptyDataSegs++
+		return
+	}
 	switch {
 	case seq == c.recvSeq:
 		c.recvSeq += uint32(len(payload))

@@ -122,6 +122,37 @@ type Frame struct {
 // Handler consumes received frames.
 type Handler func(*Frame)
 
+// Delivery describes one copy of an intercepted frame to put on the wire.
+// An Interceptor returns zero or more Deliveries per transmitted frame:
+// none drops the frame, several duplicate it, and each copy may carry
+// substituted (e.g. corrupted) bytes and extra delay beyond serialization
+// and propagation. Out-of-order delivery falls out of unequal delays.
+type Delivery struct {
+	Data  []byte
+	Delay sim.Time
+}
+
+// Interceptor sits on the wire path between DMA completion and delivery —
+// a programmable bad link. It runs after InjectLoss (the two compose: a
+// frame must survive both), and it never affects buffer release, which has
+// already happened when the hardware read the data. internal/faults builds
+// its seeded loss/reorder/duplication/corruption model on this hook.
+type Interceptor func(data []byte) []Delivery
+
+// frameFCS models the Ethernet frame check sequence the NIC appends on
+// transmit and verifies on receive. Corruption on the wire is detected
+// here — in "hardware", for free — and the frame is dropped before the
+// stack sees it, exactly like a real NIC discarding a bad-CRC frame.
+// A 32-bit sum of byte×position terms is enough to guarantee detection of
+// any single-byte change, which is all the fault model injects.
+func frameFCS(data []byte) uint32 {
+	var sum uint32
+	for i, b := range data {
+		sum = sum*31 + uint32(b) + uint32(i)
+	}
+	return sum
+}
+
 // Port is one NIC attached to one end of a link.
 type Port struct {
 	eng     *sim.Engine
@@ -139,8 +170,27 @@ type Port struct {
 	// retransmission paths.
 	InjectLoss func(data []byte) bool
 
-	// DroppedFrames counts frames lost to InjectLoss.
+	// Interceptor, when set, is consulted after InjectLoss and decides how
+	// (and how many times) the frame reaches the peer. See Interceptor.
+	Interceptor Interceptor
+
+	// InjectSendErr, when set, is consulted at the top of Send; a non-nil
+	// return refuses the post — modelling a full TX descriptor ring —
+	// before the NIC takes any buffer reference. Tests use it to exercise
+	// the stack's transmit-failure paths deterministically.
+	InjectSendErr func() error
+
+	// DroppedFrames counts frames lost on the wire (InjectLoss plus frames
+	// the Interceptor returned no deliveries for).
 	DroppedFrames uint64
+
+	// RefusedSends counts posts rejected by InjectSendErr.
+	RefusedSends uint64
+
+	// RxFCSErrors counts arriving frames discarded because their contents
+	// no longer matched the transmit-side frame check sequence (wire
+	// corruption detected by the receiving NIC).
+	RxFCSErrors uint64
 
 	// Stats.
 	TxFrames, RxFrames uint64
@@ -190,6 +240,12 @@ func (p *Port) Send(entries []SGEntry) error {
 	if len(entries) > p.prof.MaxSGEntries {
 		return &ErrTooManyEntries{Entries: len(entries), Max: p.prof.MaxSGEntries}
 	}
+	if p.InjectSendErr != nil {
+		if err := p.InjectSendErr(); err != nil {
+			p.RefusedSends++
+			return err
+		}
+	}
 	total := 0
 	for _, e := range entries {
 		total += len(e.Data)
@@ -236,13 +292,40 @@ func (p *Port) Send(entries []SGEntry) error {
 			return
 		}
 		peer := p.peer
-		p.eng.At(txDone+p.propag, func() {
+		arrive := func(frame []byte) {
 			peer.RxFrames++
-			peer.RxBytes += uint64(len(data))
+			peer.RxBytes += uint64(len(frame))
 			if peer.handler != nil {
-				peer.handler(&Frame{Data: data, SentAt: sentAt})
+				peer.handler(&Frame{Data: frame, SentAt: sentAt})
 			}
-		})
+		}
+		if p.Interceptor == nil {
+			p.eng.At(txDone+p.propag, func() { arrive(data) })
+			return
+		}
+		// The hardware computed the FCS over the pristine frame; each wire
+		// copy is re-checked on arrival so corruption injected by the
+		// interceptor is discarded by the receiving NIC.
+		fcs := frameFCS(data)
+		ds := p.Interceptor(data)
+		if len(ds) == 0 {
+			p.DroppedFrames++
+			return
+		}
+		for _, d := range ds {
+			extra := d.Delay
+			if extra < 0 {
+				extra = 0
+			}
+			frame := d.Data
+			p.eng.At(txDone+p.propag+extra, func() {
+				if frameFCS(frame) != fcs {
+					peer.RxFCSErrors++
+					return
+				}
+				arrive(frame)
+			})
+		}
 	})
 	return nil
 }

@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+	if NewRand(42).Uint64() == NewRand(43).Uint64() {
+		t.Error("adjacent seeds produced identical first draw")
+	}
+}
+
+func TestRandForkIndependence(t *testing.T) {
+	root := NewRand(7)
+	f0, f1 := root.Fork(0), root.Fork(1)
+	// Forks must differ from each other and drawing from one must not
+	// perturb the other (each fork owns its state).
+	want := NewRand(7).Fork(1).Uint64()
+	for i := 0; i < 100; i++ {
+		f0.Uint64()
+	}
+	if f1.Uint64() != want {
+		t.Error("draining fork 0 perturbed fork 1")
+	}
+	same := 0
+	x, y := NewRand(7).Fork(0), NewRand(7).Fork(1)
+	for i := 0; i < 100; i++ {
+		if x.Uint64() == y.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("forks 0 and 1 collided on %d/100 draws", same)
+	}
+}
+
+func TestRandBounds(t *testing.T) {
+	r := NewRand(99)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		if n := r.Intn(7); n < 0 || n >= 7 {
+			t.Fatalf("Intn(7) = %d", n)
+		}
+		if d := r.Duration(5 * Microsecond); d < 0 || d >= 5*Microsecond {
+			t.Fatalf("Duration = %v out of [0,5us)", d)
+		}
+	}
+	if r.Duration(0) != 0 {
+		t.Error("Duration(0) nonzero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRandFloat64Spread(t *testing.T) {
+	// Coarse uniformity: each decile should get a plausible share.
+	r := NewRand(123)
+	var decile [10]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		decile[int(r.Float64()*10)]++
+	}
+	for i, c := range decile {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("decile %d has %d samples, want ~%d", i, c, n/10)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Full pre-merge gate: vet, build everything, then the test suite under the
+# race detector (the fault-injection soak included). Use `go test -short`
+# directly for a quicker loop that skips the soak.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== check OK"
