@@ -1,9 +1,17 @@
-.PHONY: check test bench
+.PHONY: check check-fast test bench
 
 # Full gate: vet + build + race-enabled tests (includes the 100-scenario
 # fault-injection soak).
 check:
 	./scripts/check.sh
+
+# Fast gate: vet + build + -short tests. Sweeps are skipped, but the
+# overload experiment still exercises its smallest sweep point so the
+# graceful-degradation contract stays covered on every run.
+check-fast:
+	go vet ./...
+	go build ./...
+	go test -short ./...
 
 # Quick loop: skips the soak and other -short-gated sweeps.
 test:

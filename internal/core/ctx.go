@@ -35,6 +35,19 @@ type Ctx struct {
 	// allocation for vectors inside generated data structures, which this
 	// Protobuf implementation does not provide").
 	DisableArena bool
+
+	// HighWater, when positive, makes the zero-copy decision
+	// pressure-aware: once pinned-pool occupancy reaches this fraction,
+	// fields that would be sent zero-copy are copied instead. Zero-copy
+	// pins the slot until DMA (and, over TCP-lite, ACK) completes, so
+	// under pressure copying trades CPU cycles for shorter slot
+	// lifetimes and keeps the pool from exhausting. Zero disables the
+	// check (and an uncapped allocator always reports zero occupancy).
+	HighWater float64
+
+	// Fallbacks counts fields demoted from zero-copy to copy by the
+	// HighWater check.
+	Fallbacks uint64
 }
 
 // NewCtx builds a context with the default 512-byte threshold.
@@ -65,6 +78,13 @@ func (c *Ctx) NewCFPtr(data []byte) CFPtr {
 	m := c.Meter
 	m.Charge(m.CPU.PerFieldCy)
 	if len(data) >= c.Threshold {
+		if c.HighWater > 0 && c.Alloc.Occupancy() >= c.HighWater {
+			// Pinned pool is nearly full: degrade this field to the copy
+			// encoding rather than pinning another slot (graceful
+			// degradation toward d=0 behavior under overload).
+			c.Fallbacks++
+			return c.copyPtr(data)
+		}
 		m.Charge(m.CPU.RegistryLookupCy)
 		if buf, ok := c.Alloc.RecoverPtr(data); ok {
 			// Refcount increment: the metadata access whose cache misses

@@ -38,8 +38,23 @@ type KVServer struct {
 	// (the §3.2.3 segmentation extension).
 	Seg *netstack.Segmenter
 
+	// Admission control: beyond these thresholds the server sheds incoming
+	// requests with an explicit ShedReply instead of queueing them. Zero
+	// disables a check. ShedQueue bounds Core.QueueLen (keep the RX ring
+	// from starving ACK and completion traffic); ShedWater is a pinned-pool
+	// occupancy fraction (refuse work the send path could not complete).
+	ShedQueue int
+	ShedWater float64
+
 	// Stats.
 	Handled, Errors uint64
+	// Shed counts requests rejected by admission control (each one got an
+	// explicit reply, or is counted in ShedReplyErrs when even the reply
+	// could not be sent).
+	Shed uint64
+	// ShedReplyErrs counts shed replies the stack refused to transmit; the
+	// client's timeout covers this case.
+	ShedReplyErrs uint64
 }
 
 // NewKVServer attaches a KV server to the node's stack: UDP normally, or
@@ -105,12 +120,75 @@ func (s *KVServer) Preload(recs []workloads.KV) {
 func (s *KVServer) Deliver(p *mem.Buf) { s.onPayload(p) }
 
 func (s *KVServer) onPayload(p *mem.Buf) {
+	if (s.ShedQueue > 0 && s.N.Core.QueueLen() >= s.ShedQueue) ||
+		(s.ShedWater > 0 && s.N.Alloc.Occupancy() >= s.ShedWater) {
+		s.shed(p)
+		return
+	}
 	ok := s.N.Core.Submit(sim.Job{Run: func() sim.Time {
 		s.handle(p)
 		return s.N.Meter.DrainTime()
 	}})
 	if !ok {
 		p.DecRef() // RX ring overflow: drop
+	}
+}
+
+// reqID peeks the request id out of a framed request payload without a
+// full (metered) deserialization — just enough to address a shed reply.
+func (s *KVServer) reqID(p []byte) (uint64, bool) {
+	if len(p) < 2 {
+		return 0, false
+	}
+	body := p[1:]
+	switch s.Sys {
+	case SysCornflakes:
+		return core.PeekID(body)
+	case SysProtobuf:
+		return baselines.ProtoPeekID(body)
+	case SysFlatBuffers:
+		return baselines.FBPeekID(body)
+	default:
+		return baselines.CapnpPeekID(body)
+	}
+}
+
+// shed rejects a request with an explicit ShedReply. The check runs at
+// frame-delivery time (before the request consumes a core slot), so the
+// reply costs the server only the peek and a header-sized send — that is
+// the point: shedding must stay cheap when the server cannot afford work.
+func (s *KVServer) shed(p *mem.Buf) {
+	defer p.DecRef()
+	id, ok := s.reqID(p.Bytes())
+	if !ok {
+		// Unparseable request: no id to address, nothing to reply to.
+		s.Shed++
+		s.ShedReplyErrs++
+		return
+	}
+	s.shedReplyTo(id)
+}
+
+// shedReplyTo sends the explicit rejection for a request id, counting it.
+// Also used mid-handling when a put's allocation fails: the client gets a
+// shed reply instead of a dropped request.
+func (s *KVServer) shedReplyTo(id uint64) {
+	s.Shed++
+	reply := ShedReply(id)
+	sim := mem.UnpinnedSimAddr(reply)
+	var err error
+	switch {
+	case s.Seg != nil:
+		err = s.Seg.SendContiguous(reply, sim)
+	case s.N.TCP != nil:
+		err = s.N.TCP.SendContiguous(reply, sim)
+	default:
+		// The UDP fast path: prebuilt reply, batched posting. Shedding has
+		// to cost far less than serving or it cannot relieve the core.
+		err = s.N.UDP.SendPrebuilt(reply, sim)
+	}
+	if err != nil {
+		s.ShedReplyErrs++
 	}
 }
 
@@ -261,7 +339,14 @@ func (s *KVServer) handleCF(op byte, body *mem.Buf) {
 			return
 		}
 		m.SetCategory(costmodel.CatApp)
-		s.Store.Put(req.Key(), req.Val())
+		if err := s.Store.TryPut(req.Key(), req.Val()); err != nil {
+			// Pinned pool full: the store is unchanged; tell the client
+			// explicitly instead of dropping the request.
+			m.SetCategory(costmodel.CatTx)
+			s.shedReplyTo(req.Id())
+			req.Release()
+			return
+		}
 		m.SetCategory(costmodel.CatSerialize)
 		resp := msgs.NewPutResp(ctx)
 		resp.SetId(req.Id())
@@ -403,7 +488,11 @@ func (s *KVServer) handleDoc(op byte, p *mem.Buf) {
 
 	case OpBytePut:
 		m.SetCategory(costmodel.CatApp)
-		s.Store.Put(docBytes(req, 1), docBytes(req, 2))
+		if err := s.Store.TryPut(docBytes(req, 1), docBytes(req, 2)); err != nil {
+			m.SetCategory(costmodel.CatTx)
+			s.shedReplyTo(id)
+			return
+		}
 		m.SetCategory(costmodel.CatSerialize)
 		resp := baselines.NewDoc(msgs.PutRespSchema)
 		resp.SetInt(0, id)

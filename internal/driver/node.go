@@ -14,6 +14,7 @@ import (
 	"cornflakes/internal/netstack"
 	"cornflakes/internal/nic"
 	"cornflakes/internal/sim"
+	"cornflakes/internal/wire"
 )
 
 // System identifies a serialization system under test.
@@ -55,6 +56,34 @@ const (
 	OpByteGetIndex
 	OpBytePut
 )
+
+// ShedByte marks an admission-control rejection: a 9-byte reply of
+// ShedByte followed by the request id, little-endian. The marker is
+// deliberately outside every serializer's valid leading byte (a Cornflakes
+// response starts with a small LE word count, Protobuf with a field tag) so
+// clients can classify shed replies before attempting deserialization. An
+// explicit reply — rather than a silent drop — lets the client retry or
+// give up immediately instead of burning its full timeout.
+const ShedByte byte = 0xEE
+
+// shedReplyLen is ShedByte + 8-byte id.
+const shedReplyLen = 9
+
+// ShedReply builds the rejection reply for a request id.
+func ShedReply(id uint64) []byte {
+	p := make([]byte, shedReplyLen)
+	p[0] = ShedByte
+	wire.PutU64(p[1:], id)
+	return p
+}
+
+// ShedID reports whether p is a shed reply and, if so, the request id.
+func ShedID(p []byte) (uint64, bool) {
+	if len(p) != shedReplyLen || p[0] != ShedByte {
+		return 0, false
+	}
+	return wire.GetU64(p[1:]), true
+}
 
 // Node bundles one machine's resources.
 type Node struct {

@@ -1,0 +1,79 @@
+package driver
+
+import (
+	"bytes"
+	"testing"
+
+	"cornflakes/internal/mem"
+	"cornflakes/internal/msgs"
+	"cornflakes/internal/nic"
+	"cornflakes/internal/workloads"
+)
+
+// Regression pin for the pressure-aware copy fallback: when the server's
+// pinned pool is nearly exhausted, a Cornflakes response that would have
+// gone zero-copy must be demoted to copy encoding and still reach the
+// client intact — pressure on the send path means a fallback, never a
+// dropped reply.
+func TestPressureFallsBackToCopyNotDrop(t *testing.T) {
+	rec := workloads.KV{
+		Key:  []byte("pressure-key"),
+		Vals: [][]byte{bytes.Repeat([]byte{0xAB}, 1024)}, // ≥ threshold: zero-copy by default
+	}
+
+	run := func(pressured bool) (got []byte, zcEntries uint64, fallbacks uint64) {
+		tb := NewTestbed(nic.MellanoxCX6())
+		srv := NewKVServer(tb.Server, SysCornflakes)
+		srv.Preload([]workloads.KV{rec})
+
+		base := tb.Server.Alloc.Stats().SlotsInUse
+		if pressured {
+			// A pool with just enough headroom for the RX buffer and the
+			// response's first TX buffer, already past the high-water mark
+			// the moment any request is in flight.
+			capSlots := base + 3
+			tb.Server.Alloc.SetCap(capSlots)
+			tb.Server.Ctx.HighWater = float64(base) / float64(capSlots)
+		}
+
+		client := NewKVClient(tb.Client, SysCornflakes)
+		tb.Client.UDP.SetRecvHandler(func(p *mem.Buf) {
+			defer p.DecRef()
+			m, err := tb.Client.Ctx.DeserializeBytes(msgs.GetListRespSchema, p.Bytes())
+			if err != nil {
+				t.Errorf("pressured=%v: decode: %v", pressured, err)
+				return
+			}
+			if m.ListLen(1) == 1 {
+				got = append([]byte(nil), m.GetBytesElem(1, 0)...)
+			}
+		})
+		payload := client.BuildStep(1, workloads.Request{
+			Op: workloads.OpGetList, Keys: [][]byte{rec.Key},
+		}, 0)
+		tb.Client.UDP.SendContiguous(payload, mem.UnpinnedSimAddr(payload))
+		tb.Eng.Run()
+		return got, tb.Server.UDP.TxZCEntries, tb.Server.Ctx.Fallbacks
+	}
+
+	normal, zcNormal, fbNormal := run(false)
+	if !bytes.Equal(normal, rec.Vals[0]) {
+		t.Fatal("baseline: response value corrupted or missing")
+	}
+	if zcNormal == 0 || fbNormal != 0 {
+		t.Fatalf("baseline should serve zero-copy without fallbacks (zc=%d fallbacks=%d)",
+			zcNormal, fbNormal)
+	}
+
+	pressured, zcPressured, fbPressured := run(true)
+	if !bytes.Equal(pressured, rec.Vals[0]) {
+		t.Fatal("under pressure the reply was dropped or corrupted; want a copied reply")
+	}
+	if fbPressured == 0 {
+		t.Error("no fallback recorded despite occupancy past the high-water mark")
+	}
+	if zcPressured != 0 {
+		t.Errorf("%d zero-copy entries sent under pressure; all fields should be demoted to copies",
+			zcPressured)
+	}
+}

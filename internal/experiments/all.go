@@ -28,7 +28,9 @@ func All() map[string]func(Scale) *Report {
 		"ext-segment":   ExtSegment,
 		"ext-multicore": ExtMulticore,
 		// Robustness: the fault-injection soak for TCP-lite (not a paper
-		// figure; the §3 safety claim exercised under adversarial links).
-		"soak": Soak,
+		// figure; the §3 safety claim exercised under adversarial links) and
+		// the overload sweep for the graceful-degradation ladder.
+		"soak":     Soak,
+		"overload": Overload,
 	}
 }

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestOverload runs the full graceful-degradation sweep (capacity probe
+// plus a load ladder up to 2.5× capacity). -short runs cover the same
+// machinery via TestOverloadSmallestPoint below.
+func TestOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full overload sweep in -short mode (smallest point still runs)")
+	}
+	t.Parallel()
+	runExperiment(t, "overload")
+}
+
+// TestOverloadSmallestPoint runs a single underloaded sweep point even
+// under -short (make check-fast), so the bounded-allocator, shed-reply and
+// retry paths stay exercised in the fast suite.
+func TestOverloadSmallestPoint(t *testing.T) {
+	t.Parallel()
+	pt := OverloadAt(Quick(), 100_000)
+	res := pt.Res
+	if res.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	if res.Sent != res.Completed+res.Shed+res.TimedOut || res.Unresolved != 0 {
+		t.Errorf("accounting: sent=%d completed=%d shed=%d timedout=%d unresolved=%d",
+			res.Sent, res.Completed, res.Shed, res.TimedOut, res.Unresolved)
+	}
+	if pt.PeakSlots > pt.CapSlots {
+		t.Errorf("peak %d slots exceeded cap %d", pt.PeakSlots, pt.CapSlots)
+	}
+	if pt.FinalSlots != pt.BaseSlots {
+		t.Errorf("leak: %d slots in use after drain, baseline %d", pt.FinalSlots, pt.BaseSlots)
+	}
+}

@@ -80,11 +80,19 @@ type SoakResult struct {
 	WireDrops   uint64
 	FCSDrops    uint64
 	DupAcks     uint64
+
+	// PeakClient/PeakServer are the pinned-slot high-water marks over the
+	// scenario, bounded by CapClient/CapServer (baseline + soakCapHeadroom):
+	// retransmission buffering under faults must stay within a fixed
+	// budget, not merely drain eventually.
+	PeakClient, PeakServer int64
+	CapClient, CapServer   int64
 }
 
-// OK reports whether all three invariants held.
+// OK reports whether all four invariants held.
 func (r SoakResult) OK() bool {
-	return !r.Stalled && r.Mismatches == 0 && r.LeakedClient == 0 && r.LeakedServer == 0
+	return !r.Stalled && r.Mismatches == 0 && r.LeakedClient == 0 && r.LeakedServer == 0 &&
+		r.PeakClient <= r.CapClient && r.PeakServer <= r.CapServer
 }
 
 func (r SoakResult) String() string {
@@ -93,10 +101,27 @@ func (r SoakResult) String() string {
 		r.LeakedClient, r.LeakedServer, r.Retransmits, r.WireDrops, r.FCSDrops)
 }
 
+// soakCapHeadroom is the pinned-slot budget each node gets over its
+// pre-traffic baseline. It is generous for the tiny closed-loop window —
+// the bound must never perturb the scenario — so the assertion it backs is
+// that fault-driven retransmission buffering stays within a fixed budget.
+const soakCapHeadroom = 512
+
+// soakBound caps both allocators at baseline + headroom; called once the
+// baselines are measured, before traffic starts.
+func soakBound(res *SoakResult, tb *driver.Testbed, clientBase, serverBase int64) {
+	res.CapClient = clientBase + soakCapHeadroom
+	res.CapServer = serverBase + soakCapHeadroom
+	tb.Client.Alloc.SetCap(res.CapClient)
+	tb.Server.Alloc.SetCap(res.CapServer)
+}
+
 // soakFinish drains the scenario and fills in the invariant fields shared
 // by both workloads.
 func soakFinish(res *SoakResult, tb *driver.Testbed, clientBase, serverBase int64) {
 	tb.Eng.RunUntil(soakDeadline)
+	res.PeakClient = tb.Client.Alloc.Stats().PeakSlotsInUse
+	res.PeakServer = tb.Server.Alloc.Stats().PeakSlotsInUse
 	quiesced := res.Completed == res.Total &&
 		tb.Client.TCP.Unacked() == 0 && tb.Server.TCP.Unacked() == 0
 	res.Stalled = !quiesced
@@ -119,6 +144,7 @@ func SoakEcho(seed uint64) SoakResult {
 
 	clientBase := tb.Client.Alloc.Stats().SlotsInUse
 	serverBase := tb.Server.Alloc.Stats().SlotsInUse
+	soakBound(&res, tb, clientBase, serverBase)
 
 	// Payload for request id: 8-byte id then an id-seeded pattern, so the
 	// expected bytes are recomputable at verification time without keeping
@@ -192,6 +218,7 @@ func SoakKV(seed uint64) SoakResult {
 
 	clientBase := tb.Client.Alloc.Stats().SlotsInUse
 	serverBase := tb.Server.Alloc.Stats().SlotsInUse
+	soakBound(&res, tb, clientBase, serverBase)
 
 	codec := driver.NewKVClient(tb.Client, driver.SysCornflakes)
 	// keysOf(id) regenerates request id's key set deterministically; like
@@ -281,6 +308,8 @@ func Soak(Scale) *Report {
 	}
 	scenarios := 0
 	var failures []string
+	capViolations := 0
+	var worstHeadroom int64
 	for seed := uint64(1); seed <= SoakScenarios; seed++ {
 		for _, w := range order {
 			var res SoakResult
@@ -290,6 +319,18 @@ func Soak(Scale) *Report {
 				res = SoakKV(seed)
 			}
 			scenarios++
+			if res.PeakClient > res.CapClient || res.PeakServer > res.CapServer {
+				capViolations++
+			}
+			// Headroom actually consumed above the pre-traffic baseline.
+			for _, used := range []int64{
+				res.PeakClient - (res.CapClient - soakCapHeadroom),
+				res.PeakServer - (res.CapServer - soakCapHeadroom),
+			} {
+				if used > worstHeadroom {
+					worstHeadroom = used
+				}
+			}
 			a := agg[w]
 			a.Total += res.Total
 			a.Completed += res.Completed
@@ -337,6 +378,9 @@ func Soak(Scale) *Report {
 		agg["echo"].LeakedClient+agg["echo"].LeakedServer+agg["kv"].LeakedClient+agg["kv"].LeakedServer == 0,
 		"echo leak %d/%d, kv leak %d/%d",
 		agg["echo"].LeakedClient, agg["echo"].LeakedServer, agg["kv"].LeakedClient, agg["kv"].LeakedServer)
+	r.AddCheck("bounded: peak pinned occupancy stayed within every scenario's cap",
+		capViolations == 0, "%d violations; worst headroom use %d of %d slots",
+		capViolations, worstHeadroom, int64(soakCapHeadroom))
 	// The sweep must actually have hurt: a plan generator bug that yields
 	// clean links would green-light broken retransmission code.
 	r.AddCheck("adversity: wire drops, retransmits, dups and corruption all exercised",

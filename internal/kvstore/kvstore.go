@@ -97,20 +97,47 @@ func (s *Store) PutBuf(key []byte, vals ...*mem.Buf) {
 // Put copies data into freshly allocated pinned buffers and stores them.
 // Each element of vals becomes one non-contiguous buffer (the linked-list /
 // vector value shapes of §6.1.2). Empty elements are skipped: a pinned
-// allocation needs at least one byte of slot identity.
+// allocation needs at least one byte of slot identity. Put panics if the
+// pinned pool is capped and full; the request path uses TryPut.
 func (s *Store) Put(key []byte, vals ...[]byte) {
+	if err := s.TryPut(key, vals...); err != nil {
+		panic("kvstore: Put: " + err.Error())
+	}
+}
+
+// TryPut is Put with a failable allocation path: if the pinned pool cannot
+// hold the new value, it releases any buffers allocated so far and returns
+// mem.ErrNoMem with the store unchanged — the existing value under key (if
+// any) is kept, not clobbered by a partial write.
+func (s *Store) TryPut(key []byte, vals ...[]byte) error {
+	bufs, err := s.allocValue(vals)
+	if err != nil {
+		return err
+	}
+	s.PutBuf(key, bufs...)
+	return nil
+}
+
+// allocValue copies vals into fresh pinned buffers, all-or-nothing.
+func (s *Store) allocValue(vals [][]byte) ([]*mem.Buf, error) {
 	bufs := make([]*mem.Buf, 0, len(vals))
 	for _, v := range vals {
 		if len(v) == 0 {
 			continue
 		}
-		b := s.Alloc.Alloc(len(v))
+		b, err := s.Alloc.TryAlloc(len(v))
+		if err != nil {
+			for _, got := range bufs {
+				got.DecRef()
+			}
+			return nil, err
+		}
 		s.Meter.Charge(s.Meter.CPU.DMABufAllocCy)
 		s.Meter.Copy(s.Alloc.SimAddrOf(v), b.SimAddr(), len(v))
 		copy(b.Bytes(), v)
 		bufs = append(bufs, b)
 	}
-	s.PutBuf(key, bufs...)
+	return bufs, nil
 }
 
 // Get returns the first buffer of the key's value, or nil. The returned
@@ -154,8 +181,24 @@ func (s *Store) GetIndex(key []byte, idx int) *mem.Buf {
 
 // Append copies data into fresh pinned buffers and appends them to the
 // key's value list (creating the key if needed) — the RPUSH path of the
-// Redis integration. It returns the new list length.
+// Redis integration. It returns the new list length. Append panics if the
+// pinned pool is capped and full; the request path uses TryAppend.
 func (s *Store) Append(key []byte, vals ...[]byte) int {
+	n, err := s.TryAppend(key, vals...)
+	if err != nil {
+		panic("kvstore: Append: " + err.Error())
+	}
+	return n
+}
+
+// TryAppend is Append with a failable allocation path: on mem.ErrNoMem no
+// elements are appended (all-or-nothing) and the existing list — including
+// a key entry created by this call — is left as it was.
+func (s *Store) TryAppend(key []byte, vals ...[]byte) (int, error) {
+	bufs, err := s.allocValue(vals)
+	if err != nil {
+		return 0, err
+	}
 	s.Puts++
 	e := s.lookup(key)
 	if e == nil {
@@ -169,18 +212,11 @@ func (s *Store) Append(key []byte, vals ...[]byte) int {
 		s.m[string(key)] = e
 		s.Meter.Charge(s.Meter.CPU.HeapAllocCy)
 	}
-	for _, v := range vals {
-		if len(v) == 0 {
-			continue
-		}
-		b := s.Alloc.Alloc(len(v))
-		s.Meter.Charge(s.Meter.CPU.DMABufAllocCy)
-		s.Meter.Copy(s.Alloc.SimAddrOf(v), b.SimAddr(), len(v))
-		copy(b.Bytes(), v)
+	for _, b := range bufs {
 		e.vals = append(e.vals, b)
 		s.ValueBytes += int64(b.Len())
 	}
-	return len(e.vals)
+	return len(e.vals), nil
 }
 
 // Delete removes a key, releasing the store's value references.

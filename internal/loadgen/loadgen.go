@@ -29,6 +29,42 @@ type Endpoint interface {
 	SetRecvHandler(fn func(payload *mem.Buf))
 }
 
+// RetryPolicy gives requests a virtual-time deadline and capped
+// exponential backoff with jitter. The zero value disables timeouts:
+// requests wait forever, the pre-overload-work behavior. Jitter is drawn
+// from a sim.Rand forked off the run seed, so retry schedules are
+// bit-for-bit replayable.
+type RetryPolicy struct {
+	// Deadline is the per-attempt timeout. Zero disables the policy.
+	Deadline sim.Time
+	// MaxRetries is the number of re-sends after the first attempt. The
+	// budget is per flow, shared across a multi-step request's steps.
+	MaxRetries int
+	// Backoff is the base delay before retry k, doubled each retry
+	// (Backoff, 2·Backoff, 4·Backoff, …) and capped at MaxBackoff.
+	Backoff sim.Time
+	// MaxBackoff caps the exponential growth. Zero means no cap.
+	MaxBackoff sim.Time
+}
+
+// enabled reports whether the policy arms timers at all.
+func (p RetryPolicy) enabled() bool { return p.Deadline > 0 }
+
+// backoffFor returns the capped backoff before retry k (0-based).
+func (p RetryPolicy) backoffFor(k int) sim.Time {
+	b := p.Backoff
+	for i := 0; i < k; i++ {
+		b *= 2
+		if p.MaxBackoff > 0 && b >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if p.MaxBackoff > 0 && b > p.MaxBackoff {
+		b = p.MaxBackoff
+	}
+	return b
+}
+
 // Config drives one load generation run.
 type Config struct {
 	Eng *sim.Engine
@@ -42,9 +78,21 @@ type Config struct {
 	Warmup   sim.Time
 	Measure  sim.Time
 	Seed     uint64
+
+	// Retry configures per-request deadlines and retries (zero = off).
+	Retry RetryPolicy
+	// ShedID, when set, classifies a payload as an explicit server
+	// rejection and extracts its request id (wired to driver.ShedID).
+	// Shed flows are terminal — retrying work the server just refused
+	// would amplify the overload the shed exists to relieve.
+	ShedID func(p []byte) (uint64, bool)
 }
 
-// Result summarises one run.
+// Result summarises one run. With the retry policy enabled the accounting
+// for measured requests is exact: Sent == Completed + Shed + TimedOut +
+// Unresolved, so overload runs terminate with every request explicitly
+// disposed. (Without it, completions are only counted inside the
+// measurement window, the historical throughput-curve semantics.)
 type Result struct {
 	OfferedRps float64
 	// SentRps is the realized offered load: requests actually issued in
@@ -57,6 +105,30 @@ type Result struct {
 	Sent         uint64 // requests issued in the measurement window
 	Completed    uint64
 	BadResponses uint64
+
+	// Shed counts measured requests ended by an explicit server
+	// rejection; TimedOut counts measured requests that exhausted their
+	// deadline and retry budget.
+	Shed     uint64
+	TimedOut uint64
+	// Retries counts re-send attempts across all flows (warmup included).
+	Retries uint64
+	// LateResponses counts responses (including duplicate and shed
+	// replies) that arrived for a flow already completed or abandoned.
+	LateResponses uint64
+	// Unresolved counts measured requests still in flight when the run's
+	// drain window closed — always zero when the retry policy is enabled.
+	Unresolved uint64
+}
+
+// P99 returns the 99th-percentile latency, or 0 when no requests
+// completed — the explicit zero-goodput point of a fully overloaded run,
+// rather than a division by zero.
+func (r Result) P99() sim.Time {
+	if r.Latency == nil || r.Latency.Count() == 0 {
+		return 0
+	}
+	return r.Latency.Quantile(0.99)
 }
 
 // flow tracks one in-progress (possibly multi-step) request.
@@ -65,6 +137,10 @@ type flow struct {
 	step     int
 	start    sim.Time
 	measured bool
+	// attempts is the number of retries consumed (per flow, not per step).
+	attempts int
+	// timer is the pending deadline for the current attempt.
+	timer sim.Timer
 }
 
 // Run executes one open-loop run and returns the measured result.
@@ -85,21 +161,78 @@ func Run(cfg Config) Result {
 	var (
 		nextID     uint64
 		flows      = map[uint64]*flow{}
+		expired    = map[uint64]bool{} // ids whose flow ended or was re-sent
 		respBytes  uint64
 		measureEnd = cfg.Warmup + cfg.Measure
+		// jitter is independent of the workload stream so enabling retries
+		// does not perturb which requests are generated.
+		jitter = sim.NewRand(cfg.Seed ^ 0xBACC0FF)
 	)
 
-	sendStep := func(f *flow) {
+	var sendStep func(f *flow)
+	sendStep = func(f *flow) {
 		id := nextID
 		nextID++
 		flows[id] = f
 		payload := cfg.Client.BuildStep(id, f.req, f.step)
 		cfg.EP.SendContiguous(payload, mem.UnpinnedSimAddr(payload))
+		if cfg.Retry.enabled() {
+			f.timer = eng.After(cfg.Retry.Deadline, func() {
+				if flows[id] != f {
+					return // resolved in the meantime
+				}
+				delete(flows, id)
+				expired[id] = true
+				if f.attempts >= cfg.Retry.MaxRetries {
+					if f.measured {
+						res.TimedOut++
+					}
+					return
+				}
+				// Capped exponential backoff plus jitter of up to half the
+				// backoff, so synchronized clients do not retry in phase.
+				bo := cfg.Retry.backoffFor(f.attempts)
+				f.attempts++
+				res.Retries++
+				delay := bo + jitter.Duration(bo/2)
+				if delay <= 0 {
+					delay = 1 // After(0) would re-enter sendStep inline
+				}
+				eng.After(delay, func() { sendStep(f) })
+			})
+		}
+	}
+
+	// resolve ends the current attempt's bookkeeping for a delivered id.
+	resolve := func(id uint64, f *flow) {
+		f.timer.Cancel()
+		delete(flows, id)
+		expired[id] = true
 	}
 
 	cfg.EP.SetRecvHandler(func(p *mem.Buf) {
 		defer p.DecRef()
 		now := eng.Now()
+		// Shed replies carry their own framing and never parse as a
+		// serialized response, so classify them first.
+		if cfg.ShedID != nil {
+			if id, ok := cfg.ShedID(p.Bytes()); ok {
+				f, ok := flows[id]
+				if !ok {
+					if expired[id] {
+						res.LateResponses++
+					} else {
+						res.BadResponses++
+					}
+					return
+				}
+				resolve(id, f)
+				if f.measured {
+					res.Shed++
+				}
+				return
+			}
+		}
 		id, err := cfg.Client.ResponseID(p.Bytes())
 		if err != nil {
 			res.BadResponses++
@@ -107,10 +240,17 @@ func Run(cfg Config) Result {
 		}
 		f, ok := flows[id]
 		if !ok {
-			res.BadResponses++
+			if expired[id] {
+				// A response for an attempt we already resolved or retried:
+				// expected under timeouts (the original and the retry can
+				// both be answered), not a protocol error.
+				res.LateResponses++
+			} else {
+				res.BadResponses++
+			}
 			return
 		}
-		delete(flows, id)
+		resolve(id, f)
 		f.step++
 		if f.step < cfg.Client.Steps(f.req) {
 			sendStep(f)
@@ -119,7 +259,11 @@ func Run(cfg Config) Result {
 			}
 			return
 		}
-		if f.measured && now <= measureEnd {
+		if f.measured && (now <= measureEnd || cfg.Retry.enabled()) {
+			// With the retry policy on, completions landing in the drain
+			// window still count, keeping the disposal accounting exact
+			// (sent == completed + shed + timed-out). Without it, the
+			// historical window-only semantics are preserved.
 			res.Completed++
 			respBytes += uint64(p.Len())
 			res.Latency.Record(now - f.start)
@@ -143,8 +287,28 @@ func Run(cfg Config) Result {
 	eng.After(interarrival(), arrive)
 
 	// Run to the end of the measurement window plus a drain period so
-	// in-flight responses are counted.
-	eng.RunUntil(measureEnd + 2*sim.Millisecond)
+	// in-flight responses are counted. With retries enabled the drain must
+	// cover the worst-case ladder of a request issued at the window's edge:
+	// every attempt's deadline plus every capped backoff (jitter adds at
+	// most half a backoff each).
+	drain := 2 * sim.Millisecond
+	if cfg.Retry.enabled() {
+		worst := cfg.Retry.Deadline
+		for k := 0; k < cfg.Retry.MaxRetries; k++ {
+			bo := cfg.Retry.backoffFor(k)
+			worst += bo + bo/2 + cfg.Retry.Deadline
+		}
+		drain += worst
+	}
+	eng.RunUntil(measureEnd + drain)
+
+	// Whatever is still pending went neither way; with timeouts enabled
+	// the drain window above guarantees this is empty.
+	for _, f := range flows {
+		if f.measured {
+			res.Unresolved++
+		}
+	}
 
 	res.SentRps = float64(res.Sent) / cfg.Measure.Seconds()
 	res.AchievedRps = float64(res.Completed) / cfg.Measure.Seconds()

@@ -1,0 +1,189 @@
+package loadgen
+
+import (
+	"testing"
+
+	"cornflakes/internal/mem"
+	"cornflakes/internal/sim"
+	"cornflakes/internal/wire"
+)
+
+// deafEndpoint swallows a configurable prefix of requests, then starts
+// echoing them back after echoDelay. It drives the timeout/retry machinery
+// without a full netstack.
+type deafEndpoint struct {
+	eng       *sim.Engine
+	alloc     *mem.Allocator
+	recv      func(*mem.Buf)
+	dropFirst int // swallow this many sends before answering any
+	slowFirst int // answer this many sends (after drops) with slowDelay
+	slowDelay sim.Time
+	echoDelay sim.Time
+	shedAll   bool // answer with shed replies instead of echoes
+	sent      int
+}
+
+func (d *deafEndpoint) SetRecvHandler(fn func(*mem.Buf)) { d.recv = fn }
+
+func (d *deafEndpoint) SendContiguous(payload []byte, _ uint64) error {
+	d.sent++
+	if d.sent <= d.dropFirst {
+		return nil
+	}
+	var reply []byte
+	if d.shedAll {
+		reply = append([]byte{0xEE}, payload[:8]...)
+	} else {
+		reply = append([]byte(nil), payload...)
+	}
+	delay := d.echoDelay
+	if d.sent <= d.dropFirst+d.slowFirst {
+		delay = d.slowDelay
+	}
+	d.eng.After(delay, func() {
+		buf := d.alloc.Alloc(len(reply))
+		copy(buf.Bytes(), reply)
+		d.recv(buf)
+	})
+	return nil
+}
+
+// testShedID mirrors driver.ShedID for the deafEndpoint's framing.
+func testShedID(p []byte) (uint64, bool) {
+	if len(p) != 9 || p[0] != 0xEE {
+		return 0, false
+	}
+	return wire.GetU64(p[1:]), true
+}
+
+func retryCfg(d *deafEndpoint) Config {
+	return Config{
+		Eng: d.eng, EP: d, Gen: genConst{}, Client: idClient{},
+		RatePerS: 100_000, Warmup: 0, Measure: sim.Millisecond, Seed: 3,
+		Retry: RetryPolicy{
+			Deadline:   20 * sim.Microsecond,
+			MaxRetries: 3,
+			Backoff:    10 * sim.Microsecond,
+			MaxBackoff: 40 * sim.Microsecond,
+		},
+		ShedID: testShedID,
+	}
+}
+
+// A dead server: every measured request must end as TimedOut, none hang.
+func TestRetryAllTimeout(t *testing.T) {
+	d := &deafEndpoint{eng: sim.NewEngine(), alloc: mem.NewAllocator(), dropFirst: 1 << 30}
+	res := Run(retryCfg(d))
+	if res.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if res.TimedOut != res.Sent || res.Completed != 0 || res.Unresolved != 0 {
+		t.Errorf("accounting: sent=%d completed=%d timedout=%d unresolved=%d",
+			res.Sent, res.Completed, res.TimedOut, res.Unresolved)
+	}
+	// Every flow retries MaxRetries times before giving up.
+	if res.Retries == 0 {
+		t.Error("no retries recorded")
+	}
+	// Zero-completion guard: the quantile path must yield an explicit zero.
+	if res.P99() != 0 {
+		t.Errorf("P99 of zero completions = %v, want 0", res.P99())
+	}
+	if res.AchievedRps != 0 || res.AchievedGbps != 0 {
+		t.Errorf("zero-goodput point reports achieved %v rps / %v gbps",
+			res.AchievedRps, res.AchievedGbps)
+	}
+}
+
+// A server that wakes up after dropping the first few requests: the dropped
+// ones recover via retry and complete.
+func TestRetryRecovers(t *testing.T) {
+	d := &deafEndpoint{
+		eng: sim.NewEngine(), alloc: mem.NewAllocator(),
+		dropFirst: 5, echoDelay: 2 * sim.Microsecond,
+	}
+	res := Run(retryCfg(d))
+	if res.Completed != res.Sent {
+		t.Errorf("completed %d of %d sent (timedout=%d unresolved=%d)",
+			res.Completed, res.Sent, res.TimedOut, res.Unresolved)
+	}
+	if res.Retries == 0 {
+		t.Error("expected the dropped requests to be retried")
+	}
+	if res.BadResponses != 0 {
+		t.Errorf("bad responses: %d", res.BadResponses)
+	}
+}
+
+// Shed replies classify separately from completions and are terminal.
+func TestShedClassified(t *testing.T) {
+	d := &deafEndpoint{
+		eng: sim.NewEngine(), alloc: mem.NewAllocator(),
+		shedAll: true, echoDelay: 2 * sim.Microsecond,
+	}
+	res := Run(retryCfg(d))
+	if res.Shed != res.Sent || res.Completed != 0 {
+		t.Errorf("shed=%d completed=%d of sent=%d", res.Shed, res.Completed, res.Sent)
+	}
+	if res.Retries != 0 {
+		t.Errorf("shed flows retried %d times; shed must be terminal", res.Retries)
+	}
+	if res.BadResponses != 0 {
+		t.Errorf("shed replies misclassified as bad: %d", res.BadResponses)
+	}
+}
+
+// A late response (after the deadline re-sent the request) must count as
+// Late, not Bad, and the flow completes exactly once via the retry.
+func TestLateResponseAfterRetry(t *testing.T) {
+	d := &deafEndpoint{
+		eng: sim.NewEngine(), alloc: mem.NewAllocator(),
+		// The first send's reply outlives the 20 µs deadline, so its flow
+		// retries; the retry (a later send) is answered fast and
+		// completes, then the slow original reply lands on an expired id.
+		slowFirst: 1, slowDelay: 30 * sim.Microsecond,
+		echoDelay: 2 * sim.Microsecond,
+	}
+	cfg := retryCfg(d)
+	cfg.RatePerS = 10_000
+	res := Run(cfg)
+	if res.Completed != res.Sent {
+		t.Errorf("completed %d of %d", res.Completed, res.Sent)
+	}
+	if res.LateResponses == 0 {
+		t.Error("expected late responses from the slow first attempts")
+	}
+	if res.BadResponses != 0 {
+		t.Errorf("late responses misclassified as bad: %d", res.BadResponses)
+	}
+}
+
+// Retry schedules are replayable: identical seeds give identical outcomes.
+func TestRetryDeterministic(t *testing.T) {
+	run := func() Result {
+		d := &deafEndpoint{
+			eng: sim.NewEngine(), alloc: mem.NewAllocator(),
+			dropFirst: 20, echoDelay: 25 * sim.Microsecond,
+		}
+		return Run(retryCfg(d))
+	}
+	a, b := run(), run()
+	if a.Completed != b.Completed || a.TimedOut != b.TimedOut ||
+		a.Retries != b.Retries || a.LateResponses != b.LateResponses {
+		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestBackoffCapped(t *testing.T) {
+	p := RetryPolicy{Backoff: 10, MaxBackoff: 35}
+	want := []sim.Time{10, 20, 35, 35}
+	for k, w := range want {
+		if got := p.backoffFor(k); got != w {
+			t.Errorf("backoffFor(%d) = %v, want %v", k, got, w)
+		}
+	}
+	uncapped := RetryPolicy{Backoff: 10}
+	if got := uncapped.backoffFor(3); got != 80 {
+		t.Errorf("uncapped backoffFor(3) = %v, want 80", got)
+	}
+}

@@ -22,10 +22,18 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"unsafe"
 )
+
+// ErrNoMem is returned by TryAlloc when the allocator's configured capacity
+// cap is exhausted. Pinned memory is a finite resource on a real NIC host
+// (registered pages the IOMMU knows about); a caller seeing ErrNoMem must
+// degrade — copy instead of pin, shed the request, or drop the frame — and
+// must not leak any references it already holds.
+var ErrNoMem = errors.New("mem: pinned memory cap exhausted")
 
 const (
 	// MinClass is the smallest slot size: one cache line.
@@ -69,7 +77,10 @@ type sizeClass struct {
 type Stats struct {
 	BytesPinned    int64 // total bytes of pinned slabs
 	SlotsInUse     int64
+	PeakSlotsInUse int64 // high-water mark of SlotsInUse over the allocator's lifetime
+	Slabs          int64 // slab count across all size classes
 	Allocs, Frees  uint64
+	AllocFailures  uint64 // TryAlloc calls refused by the capacity cap
 	RecoverHits    uint64
 	RecoverMisses  uint64
 	DedicatedSlabs int64
@@ -88,6 +99,10 @@ type Allocator struct {
 	simCursor    uint64
 	simRefCursor uint64
 	stats        Stats
+	// capSlots bounds SlotsInUse when positive; TryAlloc fails with
+	// ErrNoMem at the bound instead of growing a new slab. Zero means
+	// unbounded (the pre-overload-hardening behaviour).
+	capSlots int64
 }
 
 // SimDataBase and SimMetaBase separate the simulated address ranges for
@@ -133,12 +148,58 @@ func roundClass(size int) int {
 	return c
 }
 
+// SetCap bounds the number of pinned slots that may be in use at once;
+// zero or negative removes the bound. The cap models the finite pinned
+// pool of a kernel-bypass host: once it is set, hot paths must allocate
+// with TryAlloc and handle ErrNoMem.
+func (a *Allocator) SetCap(slots int64) {
+	if slots < 0 {
+		slots = 0
+	}
+	a.capSlots = slots
+}
+
+// Cap returns the configured slot cap (0 = unbounded).
+func (a *Allocator) Cap() int64 { return a.capSlots }
+
+// Occupancy returns the fraction of the cap currently in use, in [0, 1].
+// An uncapped allocator reports 0: without a bound there is no pressure
+// signal, and pressure-aware callers stay on the fast path.
+func (a *Allocator) Occupancy() float64 {
+	if a.capSlots <= 0 {
+		return 0
+	}
+	occ := float64(a.stats.SlotsInUse) / float64(a.capSlots)
+	if occ > 1 {
+		occ = 1
+	}
+	return occ
+}
+
 // Alloc returns a pinned buffer of at least size bytes with refcount 1.
-// The returned view's length is exactly size. Alloc panics on size <= 0:
-// zero-length pinned buffers have no slot identity.
+// The returned view's length is exactly size. Alloc panics on size <= 0
+// (zero-length pinned buffers have no slot identity) and on cap
+// exhaustion: infallible callers — preload, tests, uncapped clients — use
+// it, while every hot path on a capped allocator must use TryAlloc.
 func (a *Allocator) Alloc(size int) *Buf {
+	b, err := a.TryAlloc(size)
+	if err != nil {
+		panic(fmt.Sprintf("mem: Alloc(%d) over cap %d: %v", size, a.capSlots, err))
+	}
+	return b
+}
+
+// TryAlloc is Alloc with the capacity cap enforced as a failure rather
+// than a panic: it returns ErrNoMem when the cap is reached, counting the
+// refusal in Stats.AllocFailures. Callers own exactly the reference of a
+// successful return and nothing on failure.
+func (a *Allocator) TryAlloc(size int) (*Buf, error) {
 	if size <= 0 {
 		panic(fmt.Sprintf("mem: Alloc(%d)", size))
+	}
+	if a.capSlots > 0 && a.stats.SlotsInUse >= a.capSlots {
+		a.stats.AllocFailures++
+		return nil, ErrNoMem
 	}
 	class := roundClass(size)
 	sc := a.classes[class]
@@ -164,12 +225,15 @@ func (a *Allocator) Alloc(size int) *Buf {
 	s.refcnts[slot] = 1
 	a.stats.Allocs++
 	a.stats.SlotsInUse++
+	if a.stats.SlotsInUse > a.stats.PeakSlotsInUse {
+		a.stats.PeakSlotsInUse = a.stats.SlotsInUse
+	}
 	return &Buf{
 		slab: s,
 		slot: slot,
 		off:  int(slot) * s.slotSize,
 		n:    size,
-	}
+	}, nil
 }
 
 func (a *Allocator) newSlab(sc *sizeClass) *slab {
@@ -201,6 +265,7 @@ func (a *Allocator) newSlab(sc *sizeClass) *slab {
 	}
 	sc.slabs = append(sc.slabs, s)
 	a.stats.BytesPinned += int64(len(data))
+	a.stats.Slabs++
 
 	// Insert into the sorted-by-real-address table.
 	i := sort.Search(len(a.byReal), func(i int) bool { return a.byReal[i].realBase >= s.realBase })
@@ -298,6 +363,19 @@ func (a *Allocator) SimAddrOf(p []byte) uint64 {
 
 // Stats returns a copy of the allocator counters.
 func (a *Allocator) Stats() Stats { return a.stats }
+
+// SlabCounts returns the number of slabs per size class — the gauge an
+// operator watches to see which class a leak or a cap-sizing problem lives
+// in. The map is freshly built on every call.
+func (a *Allocator) SlabCounts() map[int]int {
+	out := make(map[int]int, len(a.classes))
+	for size, sc := range a.classes {
+		if len(sc.slabs) > 0 {
+			out[size] = len(sc.slabs)
+		}
+	}
+	return out
+}
 
 // Buf is a reference-counted view of a pinned allocation — the paper's
 // RcBuf {data_pointer, offset, len, refcnt}. Multiple Bufs may view the

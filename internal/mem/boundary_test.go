@@ -1,0 +1,167 @@
+package mem
+
+import "testing"
+
+// Table-driven boundary coverage for the pointer-recovery trio —
+// RecoverPtr, IsPinned, SimAddrOf — at the edges where an off-by-one in
+// the slab arithmetic would corrupt memory safety: the first and last byte
+// of a slab, pointers in adjacent slabs, slices spanning slot boundaries,
+// ordinary heap memory, and empty slices.
+func TestPointerRecoveryBoundaries(t *testing.T) {
+	type fixture struct {
+		a *Allocator
+		// slabA and slabB are two dedicated single-slot slabs (every byte
+		// of the slab belongs to the slot), so "slab edge" and "slot edge"
+		// coincide and both are exercised.
+		slabA, slabB *Buf
+		// multi is a slot inside a many-slot slab, for cross-slot spans.
+		multi *Buf
+		heap  []byte
+	}
+	newFixture := func() *fixture {
+		a := NewAllocator()
+		return &fixture{
+			a:     a,
+			slabA: a.Alloc(2 << 20),
+			slabB: a.Alloc(2 << 20),
+			multi: a.Alloc(64),
+			heap:  make([]byte, 256),
+		}
+	}
+
+	cases := []struct {
+		name        string
+		slice       func(f *fixture) []byte
+		wantRecover bool
+		wantPinned  bool
+		// wantSim returns the expected SimAddrOf result; nil means "just
+		// check the unpinned range".
+		wantSim func(f *fixture) uint64
+	}{
+		{
+			name:        "first byte of slab",
+			slice:       func(f *fixture) []byte { return f.slabA.Bytes()[:1] },
+			wantRecover: true,
+			wantPinned:  true,
+			wantSim:     func(f *fixture) uint64 { return f.slabA.SimAddr() },
+		},
+		{
+			name:        "last byte of slab",
+			slice:       func(f *fixture) []byte { return f.slabA.Bytes()[f.slabA.Len()-1:] },
+			wantRecover: true,
+			wantPinned:  true,
+			wantSim:     func(f *fixture) uint64 { return f.slabA.SimAddr() + uint64(f.slabA.Len()) - 1 },
+		},
+		{
+			name:        "entire slab",
+			slice:       func(f *fixture) []byte { return f.slabA.Bytes() },
+			wantRecover: true,
+			wantPinned:  true,
+			wantSim:     func(f *fixture) uint64 { return f.slabA.SimAddr() },
+		},
+		{
+			name:        "adjacent slab resolves to its own base",
+			slice:       func(f *fixture) []byte { return f.slabB.Bytes()[:1] },
+			wantRecover: true,
+			wantPinned:  true,
+			wantSim:     func(f *fixture) uint64 { return f.slabB.SimAddr() },
+		},
+		{
+			name:        "last byte of adjacent slab",
+			slice:       func(f *fixture) []byte { return f.slabB.Bytes()[f.slabB.Len()-1:] },
+			wantRecover: true,
+			wantPinned:  true,
+			wantSim:     func(f *fixture) uint64 { return f.slabB.SimAddr() + uint64(f.slabB.Len()) - 1 },
+		},
+		{
+			name: "span across a slot boundary",
+			slice: func(f *fixture) []byte {
+				// A slice beginning inside multi's slot and running into the
+				// next slot of the same slab: not a single allocation.
+				s := f.multi.slab.data
+				base := int(f.multi.slot) * f.multi.slab.slotSize
+				return s[base+32 : base+96]
+			},
+			wantRecover: false,
+			wantPinned:  false,
+			// SimAddrOf still maps the base pointer through the slab (it
+			// models address translation, not allocation validity), so the
+			// span gets a pinned-range address even though recovery fails.
+			wantSim: func(f *fixture) uint64 {
+				base := int(f.multi.slot) * f.multi.slab.slotSize
+				return f.multi.slab.simBase + uint64(base+32)
+			},
+		},
+		{
+			name:        "unpinned heap slice",
+			slice:       func(f *fixture) []byte { return f.heap },
+			wantRecover: false,
+			wantPinned:  false,
+		},
+		{
+			name:        "empty slice",
+			slice:       func(f *fixture) []byte { return nil },
+			wantRecover: false,
+			wantPinned:  false,
+			wantSim:     func(f *fixture) uint64 { return SimUnpinnedBase },
+		},
+		{
+			name:        "empty but non-nil slice",
+			slice:       func(f *fixture) []byte { return make([]byte, 0) },
+			wantRecover: false,
+			wantPinned:  false,
+			wantSim:     func(f *fixture) uint64 { return SimUnpinnedBase },
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newFixture()
+			p := tc.slice(f)
+
+			if got := f.a.IsPinned(p); got != tc.wantPinned {
+				t.Errorf("IsPinned = %v, want %v", got, tc.wantPinned)
+			}
+
+			before := f.a.Stats()
+			r, ok := f.a.RecoverPtr(p)
+			if ok != tc.wantRecover {
+				t.Fatalf("RecoverPtr ok = %v, want %v", ok, tc.wantRecover)
+			}
+			if ok {
+				if r.Len() != len(p) {
+					t.Errorf("recovered len = %d, want %d", r.Len(), len(p))
+				}
+				if want := f.a.SimAddrOf(p); r.SimAddr() != want {
+					t.Errorf("recovered sim %x, SimAddrOf says %x", r.SimAddr(), want)
+				}
+				r.DecRef()
+			} else if f.a.Stats().RecoverMisses != before.RecoverMisses+1 {
+				t.Error("miss not counted")
+			}
+
+			sim := f.a.SimAddrOf(p)
+			if tc.wantSim != nil {
+				if want := tc.wantSim(f); sim != want {
+					t.Errorf("SimAddrOf = %x, want %x", sim, want)
+				}
+			} else if tc.wantPinned {
+				if sim < SimDataBase || sim >= SimUnpinnedBase {
+					t.Errorf("pinned SimAddrOf %x outside data range", sim)
+				}
+			} else if len(p) > 0 {
+				if sim < SimUnpinnedBase || sim >= SimMetaBase {
+					t.Errorf("unpinned SimAddrOf %x outside unpinned range", sim)
+				}
+			}
+
+			// Refcount hygiene: neither probe may leave references behind.
+			f.slabA.DecRef()
+			f.slabB.DecRef()
+			f.multi.DecRef()
+			if got := f.a.Stats().SlotsInUse; got != 0 {
+				t.Errorf("SlotsInUse after teardown = %d (leaked reference)", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,123 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTryAllocCapEnforced(t *testing.T) {
+	a := NewAllocator()
+	a.SetCap(3)
+	if a.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", a.Cap())
+	}
+	var bufs []*Buf
+	for i := 0; i < 3; i++ {
+		b, err := a.TryAlloc(64)
+		if err != nil {
+			t.Fatalf("alloc %d under cap failed: %v", i, err)
+		}
+		bufs = append(bufs, b)
+	}
+	if _, err := a.TryAlloc(64); !errors.Is(err, ErrNoMem) {
+		t.Fatalf("alloc over cap: err = %v, want ErrNoMem", err)
+	}
+	if got := a.Stats().AllocFailures; got != 1 {
+		t.Errorf("AllocFailures = %d, want 1", got)
+	}
+	// Freeing a slot restores capacity.
+	bufs[0].DecRef()
+	b, err := a.TryAlloc(64)
+	if err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+	b.DecRef()
+	for _, b := range bufs[1:] {
+		b.DecRef()
+	}
+	if got := a.Stats().SlotsInUse; got != 0 {
+		t.Errorf("SlotsInUse after drain = %d", got)
+	}
+	if got := a.Stats().PeakSlotsInUse; got != 3 {
+		t.Errorf("PeakSlotsInUse = %d, want 3", got)
+	}
+}
+
+func TestAllocPanicsOverCap(t *testing.T) {
+	a := NewAllocator()
+	a.SetCap(1)
+	b := a.Alloc(64)
+	defer b.DecRef()
+	defer func() {
+		if recover() == nil {
+			t.Error("Alloc over cap did not panic")
+		}
+	}()
+	a.Alloc(64)
+}
+
+func TestOccupancy(t *testing.T) {
+	a := NewAllocator()
+	if got := a.Occupancy(); got != 0 {
+		t.Errorf("uncapped Occupancy = %v, want 0", got)
+	}
+	a.SetCap(4)
+	b1 := a.Alloc(64)
+	b2 := a.Alloc(64)
+	if got := a.Occupancy(); got != 0.5 {
+		t.Errorf("Occupancy = %v, want 0.5", got)
+	}
+	b1.DecRef()
+	b2.DecRef()
+	if got := a.Occupancy(); got != 0 {
+		t.Errorf("Occupancy after drain = %v, want 0", got)
+	}
+	a.SetCap(0)
+	if got := a.Occupancy(); got != 0 {
+		t.Errorf("Occupancy after cap removal = %v, want 0", got)
+	}
+}
+
+func TestSlabGauges(t *testing.T) {
+	a := NewAllocator()
+	// One slab of the 64 B class holds many slots; a 3 MiB allocation gets
+	// a dedicated slab of its own class.
+	small := a.Alloc(64)
+	big := a.Alloc(3 << 20)
+	st := a.Stats()
+	if st.Slabs != 2 {
+		t.Errorf("Slabs = %d, want 2", st.Slabs)
+	}
+	counts := a.SlabCounts()
+	if counts[64] != 1 {
+		t.Errorf("SlabCounts[64] = %d, want 1", counts[64])
+	}
+	if counts[4<<20] != 1 {
+		t.Errorf("SlabCounts[4MiB] = %d, want 1 (got %v)", counts[4<<20], counts)
+	}
+	small.DecRef()
+	big.DecRef()
+	// Slabs are retained after free: the gauges track pinned footprint, not
+	// live slots.
+	if got := a.Stats().Slabs; got != 2 {
+		t.Errorf("Slabs after free = %d, want 2", got)
+	}
+}
+
+// The peak gauge must track the true high-water mark through an
+// alloc/free interleaving, not just the final state.
+func TestPeakSlotsHighWater(t *testing.T) {
+	a := NewAllocator()
+	b1, b2, b3 := a.Alloc(64), a.Alloc(64), a.Alloc(64)
+	b1.DecRef()
+	b2.DecRef()
+	b4 := a.Alloc(64)
+	if got := a.Stats().PeakSlotsInUse; got != 3 {
+		t.Errorf("PeakSlotsInUse = %d, want 3", got)
+	}
+	if got := a.Stats().SlotsInUse; got != 2 {
+		t.Errorf("SlotsInUse = %d, want 2", got)
+	}
+	b3.DecRef()
+	b4.DecRef()
+}

@@ -91,7 +91,11 @@ func (s *Segmenter) SendObjectSegmented(obj core.Obj) error {
 
 	// Serialize the header region + copied fields once, into a pinned
 	// staging buffer; fragment 0 (and possibly more) carry slices of it.
-	front := s.U.Alloc.Alloc(l.HeaderLen + l.CopyLen)
+	front, err := s.U.Alloc.TryAlloc(l.HeaderLen + l.CopyLen)
+	if err != nil {
+		s.U.TxNoMem++
+		return err
+	}
 	m.Charge(m.CPU.DMABufAllocCy)
 	obj.WriteHeader(front.Bytes())
 	m.Charge(float64(l.Fields)*m.CPU.PerFieldCy + float64(l.Elems)*2)
@@ -118,7 +122,15 @@ func (s *Segmenter) SendObjectSegmented(obj core.Obj) error {
 		}
 		// Fragment header + any copied slice of `front` share the first
 		// entry; zero-copy pieces get their own (sliced) entries.
-		head := s.U.txPrep(FragHeaderLen)
+		head, err := s.U.txPrep(FragHeaderLen)
+		if err != nil {
+			// Later fragments of this message cannot be sent either; the
+			// receiver's reassembly eviction reclaims the partial message.
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
 		fh := head.Bytes()[PacketHeaderLen:]
 		wire.PutU64(fh, msgID)
 		wire.PutU32(fh[8:], uint32(frag)|uint32(count)<<16)
@@ -173,7 +185,10 @@ func (s *Segmenter) SendContiguous(payload []byte, sim uint64) error {
 	m := s.U.Meter
 	msgID := s.nextMsgID
 	s.nextMsgID++
-	buf := s.U.txPrep(FragHeaderLen + len(payload))
+	buf, err := s.U.txPrep(FragHeaderLen + len(payload))
+	if err != nil {
+		return err
+	}
 	fh := buf.Bytes()[PacketHeaderLen:]
 	wire.PutU64(fh, msgID)
 	wire.PutU32(fh[8:], 0|1<<16) // fragment 0 of 1
@@ -207,8 +222,16 @@ func (s *Segmenter) onPayload(p *mem.Buf) {
 
 	r := s.inflight[msgID]
 	if r == nil {
+		rbuf, err := s.U.Alloc.TryAlloc(int(total))
+		if err != nil {
+			// No room to start a reassembly: drop the fragment as an RX
+			// overrun; the sender's recovery layer retries the message.
+			s.U.RxNoMem++
+			p.DecRef()
+			return
+		}
 		r = &reassembly{
-			buf:      s.U.Alloc.Alloc(int(total)),
+			buf:      rbuf,
 			received: make(map[uint16]bool),
 			count:    count,
 			total:    total,

@@ -108,6 +108,11 @@ type TCPConn struct {
 	// zero-length payload, which are dropped: they carry no sequence space
 	// and a zero-byte RX buffer has no slot identity to deliver.
 	EmptyDataSegs uint64
+	// TxNoMem counts sends refused because the pinned pool could not
+	// supply the segment's first DMA buffer; RxNoMem counts in-order data
+	// segments dropped (without advancing recvSeq or acknowledging) for
+	// want of an RX buffer — the peer's RTO retransmits them.
+	TxNoMem, RxNoMem uint64
 }
 
 // NewTCPConn attaches a TCP endpoint to a NIC port. Both ends of a link
@@ -143,7 +148,13 @@ func (c *TCPConn) SendObject(obj core.Obj) error {
 		return &ErrTooLarge{Size: TCPHeaderLen + l.ObjectLen()}
 	}
 
-	first := c.Alloc.Alloc(TCPHeaderLen + l.HeaderLen + l.CopyLen)
+	first, err := c.Alloc.TryAlloc(TCPHeaderLen + l.HeaderLen + l.CopyLen)
+	if err != nil {
+		// Failing here is clean: no sequence space consumed, no references
+		// taken — the caller sees the error before anything is queued.
+		c.TxNoMem++
+		return err
+	}
 	m.Charge(m.CPU.DMABufAllocCy)
 	c.writeTCPHeader(first.Bytes(), c.sendSeq, c.recvSeq, flagData|flagAck)
 	m.Access(first.SimAddr(), TCPHeaderLen)
@@ -193,7 +204,11 @@ func (c *TCPConn) rollback(seg *segment) {
 // (used by the FlatBuffers echo baseline in Figure 9).
 func (c *TCPConn) SendContiguous(payload []byte, sim uint64) error {
 	m := c.Meter
-	first := c.Alloc.Alloc(TCPHeaderLen + len(payload))
+	first, err := c.Alloc.TryAlloc(TCPHeaderLen + len(payload))
+	if err != nil {
+		c.TxNoMem++
+		return err
+	}
 	m.Charge(m.CPU.DMABufAllocCy)
 	c.writeTCPHeader(first.Bytes(), c.sendSeq, c.recvSeq, flagData|flagAck)
 	m.Access(first.SimAddr(), TCPHeaderLen)
@@ -284,11 +299,18 @@ func (c *TCPConn) onRTO() {
 // solicit a fresh ACK.
 func (c *TCPConn) sendAck() {
 	m := c.Meter
-	buf := c.Alloc.Alloc(TCPHeaderLen)
+	buf, err := c.Alloc.TryAlloc(TCPHeaderLen)
+	if err != nil {
+		// No buffer for the ACK: skip it. Fire-and-forget semantics make
+		// this safe — the peer retransmits and solicits another ACK once
+		// pressure subsides.
+		c.AckSendErrors++
+		return
+	}
 	m.Charge(m.CPU.DMABufAllocCy)
 	c.writeTCPHeader(buf.Bytes(), c.sendSeq, c.recvSeq, flagAck)
 	m.Charge(m.CPU.TxDescCy)
-	err := c.Port.Send([]nic.SGEntry{{
+	err = c.Port.Send([]nic.SGEntry{{
 		Data:    buf.Bytes(),
 		Sim:     buf.SimAddr(),
 		Release: func() { buf.DecRef() },
@@ -326,9 +348,16 @@ func (c *TCPConn) onFrame(f *nic.Frame) {
 	}
 	switch {
 	case seq == c.recvSeq:
+		buf, err := c.Alloc.TryAlloc(len(payload))
+		if err != nil {
+			// No RX buffer: the segment is effectively lost at the ring.
+			// Critically, recvSeq does NOT advance and no ACK is sent, so
+			// the peer's RTO retransmits into (hopefully) freed memory.
+			c.RxNoMem++
+			return
+		}
 		c.recvSeq += uint32(len(payload))
 		c.RxSegments++
-		buf := c.Alloc.Alloc(len(payload))
 		copy(buf.Bytes(), payload) // DMA write
 		c.sendAck()
 		if c.recv != nil {

@@ -56,6 +56,10 @@ type UDP struct {
 	// Stats.
 	TxPackets, RxPackets uint64
 	TxZCEntries          uint64
+	// TxNoMem counts sends that failed because the pinned pool could not
+	// supply a transmit buffer; RxNoMem counts received frames dropped for
+	// want of an RX buffer (the NIC would have overrun its posted ring).
+	TxNoMem, RxNoMem uint64
 }
 
 // NewUDP attaches a UDP endpoint to a NIC port.
@@ -79,7 +83,14 @@ func (u *UDP) onFrame(f *nic.Frame) {
 		return // runt frame
 	}
 	payload := f.Data[PacketHeaderLen:]
-	buf := u.Alloc.Alloc(len(payload))
+	buf, err := u.Alloc.TryAlloc(len(payload))
+	if err != nil {
+		// No pinned buffer to DMA into: the frame is lost, exactly as a
+		// real NIC drops when the posted RX ring is empty. Counted, never
+		// silent — the transport (TCP-lite RTO, client retry) recovers.
+		u.RxNoMem++
+		return
+	}
 	copy(buf.Bytes(), payload) // DMA write: no CPU charge
 	if u.recv == nil {
 		buf.DecRef()
@@ -89,10 +100,15 @@ func (u *UDP) onFrame(f *nic.Frame) {
 }
 
 // txPrep allocates a pinned transmit buffer with n bytes after the packet
-// header and writes the header.
-func (u *UDP) txPrep(n int) *mem.Buf {
+// header and writes the header. It fails with mem.ErrNoMem (counted in
+// TxNoMem) when the pinned pool is exhausted.
+func (u *UDP) txPrep(n int) (*mem.Buf, error) {
 	m := u.Meter
-	buf := u.Alloc.Alloc(PacketHeaderLen + n)
+	buf, err := u.Alloc.TryAlloc(PacketHeaderLen + n)
+	if err != nil {
+		u.TxNoMem++
+		return nil, err
+	}
 	m.Charge(m.CPU.DMABufAllocCy)
 	hdr := buf.Bytes()[:PacketHeaderLen]
 	for i := range hdr {
@@ -101,7 +117,7 @@ func (u *UDP) txPrep(n int) *mem.Buf {
 	hdr[0] = 0x42 // marker: a real stack writes MACs/IPs/ports here
 	m.Charge(m.CPU.PktHeaderCy)
 	m.Access(buf.SimAddr(), PacketHeaderLen)
-	return buf
+	return buf, nil
 }
 
 // post hands the gather list to the NIC, charging the base descriptor cost
@@ -159,7 +175,10 @@ func (u *UDP) SendObject(obj core.Obj) error {
 	}
 
 	// First entry: packet header + object header region + copied data.
-	first := u.txPrep(l.HeaderLen + l.CopyLen)
+	first, err := u.txPrep(l.HeaderLen + l.CopyLen)
+	if err != nil {
+		return err
+	}
 	dst := first.Bytes()[PacketHeaderLen:]
 	obj.WriteHeader(dst)
 	m.Charge(float64(l.Fields)*m.CPU.PerFieldCy + float64(l.Elems)*2)
@@ -213,7 +232,18 @@ func (u *UDP) SendObject(obj core.Obj) error {
 		for _, b := range overflow {
 			total += b.Len()
 		}
-		ext := u.Alloc.Alloc(total)
+		ext, err := u.Alloc.TryAlloc(total)
+		if err != nil {
+			// Release the references already taken for the built entries
+			// before reporting failure — no refs may leak on this path.
+			u.TxNoMem++
+			for _, e := range entries {
+				if e.Release != nil {
+					e.Release()
+				}
+			}
+			return err
+		}
 		m.Charge(m.CPU.DMABufAllocCy)
 		cur := 0
 		for _, b := range overflow {
@@ -252,7 +282,11 @@ func (u *UDP) SendObjectViaSGArray(obj core.Obj) error {
 	}
 	arr := make([]sge, 0, 1+l.NumZC)
 
-	objBuf := u.Alloc.Alloc(l.HeaderLen + l.CopyLen)
+	objBuf, err := u.Alloc.TryAlloc(l.HeaderLen + l.CopyLen)
+	if err != nil {
+		u.TxNoMem++
+		return err
+	}
 	m.Charge(m.CPU.DMABufAllocCy)
 	obj.WriteHeader(objBuf.Bytes())
 	m.Charge(float64(l.Fields)*m.CPU.PerFieldCy + float64(l.Elems)*2)
@@ -271,7 +305,14 @@ func (u *UDP) SendObjectViaSGArray(obj core.Obj) error {
 	})
 
 	// --- Networking layer: walk the array again, prepend header entry. ---
-	hdrBuf := u.txPrep(0)
+	hdrBuf, err := u.txPrep(0)
+	if err != nil {
+		// Drop the references the serialization layer took into the array.
+		for _, e := range arr {
+			e.buf.DecRef()
+		}
+		return err
+	}
 	entries := make([]nic.SGEntry, 0, 1+len(arr))
 	entries = append(entries, nic.SGEntry{
 		Data:    hdrBuf.Bytes(),
@@ -289,16 +330,65 @@ func (u *UDP) SendObjectViaSGArray(obj core.Obj) error {
 	}
 	m.Access(mem.UnpinnedSimAddr(objBuf.Bytes()), len(arr)*24) // array touch
 	if len(entries) > u.Port.Profile().MaxSGEntries {
+		for _, e := range entries {
+			if e.Release != nil {
+				e.Release()
+			}
+		}
 		return &nic.ErrTooManyEntries{Entries: len(entries), Max: u.Port.Profile().MaxSGEntries}
 	}
 	return u.post(entries)
+}
+
+// prebuiltBatch is the descriptor/completion amortization factor of the
+// prebuilt-reply fast path: an overloaded server posts and reaps its
+// rejection replies in batches, so the fixed per-packet NIC costs spread
+// over the batch.
+const prebuiltBatch = 16
+
+// SendPrebuilt transmits a tiny prebuilt reply (an admission-control
+// rejection) on the fast path an overload-hardened server must have:
+// the reply lives in a ring of recycled template buffers whose packet
+// headers are preformatted, and descriptor posting and completion reaping
+// amortize across a batch. Only the payload copy plus the amortized share
+// of the alloc/descriptor/completion costs hit the meter — shedding has to
+// be far cheaper than serving, or admission control would be
+// self-defeating at the load levels where it matters.
+func (u *UDP) SendPrebuilt(payload []byte, sim uint64) error {
+	m := u.Meter
+	buf, err := u.Alloc.TryAlloc(PacketHeaderLen + len(payload))
+	if err != nil {
+		u.TxNoMem++
+		return err
+	}
+	hdr := buf.Bytes()[:PacketHeaderLen]
+	for i := range hdr {
+		hdr[i] = 0
+	}
+	hdr[0] = 0x42
+	m.Charge((m.CPU.DMABufAllocCy + m.CPU.TxDescCy + m.CPU.CompletionCy) / prebuiltBatch)
+	m.Copy(sim, buf.SimAddr()+PacketHeaderLen, len(payload))
+	copy(buf.Bytes()[PacketHeaderLen:], payload)
+	err = u.Port.Send([]nic.SGEntry{{
+		Data: buf.Bytes(), Sim: buf.SimAddr(),
+		Release: func() { buf.DecRef() }, // completion cost amortized above
+	}})
+	if err != nil {
+		buf.DecRef()
+		return err
+	}
+	u.TxPackets++
+	return nil
 }
 
 // SendContiguous transmits an already-serialized contiguous payload by
 // copying it into a DMA buffer (the FlatBuffers and Redis datapath:
 // "FlatBuffers and Redis use a contiguous buffer", §6.1.3).
 func (u *UDP) SendContiguous(payload []byte, sim uint64) error {
-	buf := u.txPrep(len(payload))
+	buf, err := u.txPrep(len(payload))
+	if err != nil {
+		return err
+	}
 	u.Meter.Copy(sim, buf.SimAddr()+PacketHeaderLen, len(payload))
 	copy(buf.Bytes()[PacketHeaderLen:], payload)
 	return u.post([]nic.SGEntry{{Data: buf.Bytes(), Sim: buf.SimAddr(), Release: u.releaseBuf(buf)}})
@@ -309,7 +399,10 @@ func (u *UDP) SendContiguous(payload []byte, sim uint64) error {
 // from Protobuf structs into DMA-safe memory directly", §6.1.3). fill
 // returns the actual payload length.
 func (u *UDP) SendWith(size int, fill func(dst []byte, dstSim uint64) int) error {
-	buf := u.txPrep(size)
+	buf, err := u.txPrep(size)
+	if err != nil {
+		return err
+	}
 	n := fill(buf.Bytes()[PacketHeaderLen:], buf.SimAddr()+PacketHeaderLen)
 	if n < size {
 		buf.Resize(PacketHeaderLen + n)
@@ -325,7 +418,10 @@ func (u *UDP) SendSegments(segs [][]byte, sims []uint64) error {
 	for _, s := range segs {
 		total += len(s)
 	}
-	buf := u.txPrep(total)
+	buf, err := u.txPrep(total)
+	if err != nil {
+		return err
+	}
 	cur := PacketHeaderLen
 	for i, s := range segs {
 		u.Meter.Copy(sims[i], buf.SimAddr()+uint64(cur), len(s))
@@ -344,7 +440,10 @@ func (u *UDP) SendSegments(segs [][]byte, sims []uint64) error {
 // bookkeeping is charged. The caller's own references are untouched.
 func (u *UDP) SendPinned(bufs []*mem.Buf, safe bool) error {
 	m := u.Meter
-	hdrBuf := u.txPrep(0)
+	hdrBuf, err := u.txPrep(0)
+	if err != nil {
+		return err
+	}
 	entries := make([]nic.SGEntry, 0, 1+len(bufs))
 	entries = append(entries, nic.SGEntry{Data: hdrBuf.Bytes(), Sim: hdrBuf.SimAddr(), Release: u.releaseBuf(hdrBuf)})
 	for _, b := range bufs {

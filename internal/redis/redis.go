@@ -124,7 +124,12 @@ func (s *Server) HandleRESP(id uint64, cmd []byte) ([]byte, uint64, bool) {
 			w.WriteError("ERR wrong number of arguments for 'set'")
 			break
 		}
-		s.Store.Put(args[0].Str, args[1].Str)
+		if s.Store.TryPut(args[0].Str, args[1].Str) != nil {
+			// Same contract as real Redis at maxmemory: an explicit OOM
+			// error, never a silent drop.
+			w.WriteError("OOM command not allowed when used memory > 'maxmemory'")
+			break
+		}
 		w.WriteSimple("OK")
 	case "MGET":
 		w.WriteArrayHeader(len(args))
@@ -158,7 +163,11 @@ func (s *Server) HandleRESP(id uint64, cmd []byte) ([]byte, uint64, bool) {
 		for _, a := range args[1:] {
 			items = append(items, a.Str)
 		}
-		n := s.Store.Append(args[0].Str, items...)
+		n, err := s.Store.TryAppend(args[0].Str, items...)
+		if err != nil {
+			w.WriteError("OOM command not allowed when used memory > 'maxmemory'")
+			break
+		}
 		w.WriteInteger(int64(n))
 	default:
 		s.Errors++
@@ -197,7 +206,10 @@ func (s *Server) HandleCF(op byte, req CFRequest) Reply {
 		}
 		return Reply{ID: req.ID, Vals: vals, Multi: true}
 	case CmdSet:
-		s.Store.Put(req.Key, req.Val)
+		if s.Store.TryPut(req.Key, req.Val) != nil {
+			// OK stays false: the driver reports the write as refused.
+			return Reply{ID: req.ID}
+		}
 		return Reply{ID: req.ID, OK: true}
 	default:
 		s.Errors++
