@@ -1,4 +1,4 @@
-.PHONY: check check-fast test bench
+.PHONY: check check-fast test bench trace-demo
 
 # Full gate: vet + build + race-enabled tests (includes the 100-scenario
 # fault-injection soak).
@@ -19,3 +19,9 @@ test:
 
 bench:
 	go test -bench=. -benchmem
+
+# Traced overload run: writes artifacts/trace-trace.json, a Chrome
+# trace-event file of per-request span timelines (open it in
+# chrome://tracing or https://ui.perfetto.dev).
+trace-demo:
+	go run ./cmd/cf-bench -exp trace -quick -trace artifacts

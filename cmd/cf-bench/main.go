@@ -27,6 +27,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scale (faster, noisier)")
 	list := flag.Bool("list", false, "list experiment ids")
 	csvDir := flag.String("csv", "", "also write each report's table to <dir>/<id>.csv")
+	traceDir := flag.String("trace", "", "enable per-request tracing on experiments that support it and write each report's artifacts (Chrome trace JSON) to <dir>")
 	flag.Parse()
 
 	all := experiments.All()
@@ -46,6 +47,7 @@ func main() {
 	if *quick {
 		sc = experiments.Quick()
 	}
+	sc.Trace = *traceDir != ""
 
 	run := func(id string) bool {
 		fn, ok := all[id]
@@ -63,6 +65,25 @@ func main() {
 			} else if err := os.WriteFile(
 				filepath.Join(*csvDir, rep.ID+".csv"), []byte(rep.CSV()), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "cf-bench:", err)
+			}
+		}
+		if *traceDir != "" && len(rep.Artifacts) > 0 {
+			if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "cf-bench:", err)
+			} else {
+				names := make([]string, 0, len(rep.Artifacts))
+				for name := range rep.Artifacts {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					path := filepath.Join(*traceDir, rep.ID+"-"+name)
+					if err := os.WriteFile(path, rep.Artifacts[name], 0o644); err != nil {
+						fmt.Fprintln(os.Stderr, "cf-bench:", err)
+					} else {
+						fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", path)
+					}
+				}
 			}
 		}
 		return len(rep.Failed()) == 0

@@ -45,6 +45,7 @@ func (cm *CapnpMessage) TotalLen() int {
 
 type capnpBuilder struct {
 	segs [][]byte
+	sims []uint64 // scratch slot per segment, assigned at allocation
 	m    *costmodel.Meter
 }
 
@@ -58,6 +59,10 @@ func (b *capnpBuilder) allocWords(n int) (int, int) {
 			size = need
 		}
 		b.segs = append(b.segs, make([]byte, 0, size))
+		// Segments are appended to while the message is built, so their
+		// addresses must not depend on their contents; each segment keeps
+		// the address assigned when its chunk was allocated.
+		b.sims = append(b.sims, b.m.AllocSimAddr(size))
 		b.m.Charge(b.m.CPU.HeapAllocCy)
 	}
 	si := len(b.segs) - 1
@@ -78,10 +83,7 @@ func capnpUnptr(w uint64) (seg, off, length int) {
 func CapnpBuild(d *Doc, m *costmodel.Meter) *CapnpMessage {
 	b := &capnpBuilder{m: m}
 	b.writeStruct(d)
-	cm := &CapnpMessage{Segs: b.segs}
-	for _, s := range b.segs {
-		cm.Sims = append(cm.Sims, mem.UnpinnedSimAddr(s))
-	}
+	cm := &CapnpMessage{Segs: b.segs, Sims: b.sims}
 	return cm
 }
 
@@ -110,7 +112,7 @@ func (b *capnpBuilder) writeStruct(d *Doc) (int, int) {
 		w := (len(data) + 7) / 8
 		bs, bo := b.allocWords(w + 1)
 		wire.PutU64(b.segs[bs][bo:], uint64(len(data)))
-		m.Copy(sim, mem.UnpinnedSimAddr(b.segs[bs])+uint64(bo)+8, len(data))
+		m.Copy(sim, b.sims[bs]+uint64(bo)+8, len(data))
 		copy(b.segs[bs][bo+8:], data)
 		return capnpPtr(bs, bo, 0)
 	}

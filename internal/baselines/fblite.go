@@ -5,7 +5,6 @@ import (
 
 	"cornflakes/internal/core"
 	"cornflakes/internal/costmodel"
-	"cornflakes/internal/mem"
 	"cornflakes/internal/wire"
 )
 
@@ -28,11 +27,14 @@ import (
 //	vector  : u32 off → u32 count | (u64 ints | u32 blob offs | u32 table offs)
 //	nested  : u32 off → table
 type fbBuilder struct {
-	buf []byte
-	m   *costmodel.Meter
+	buf  []byte
+	base uint64 // simulated address of buf, reassigned on regrow
+	m    *costmodel.Meter
 }
 
-func (b *fbBuilder) sim() uint64 { return mem.UnpinnedSimAddr(b.buf) }
+// sim is the address assigned when buf was (re)allocated — the buffer
+// mutates as the message is built, so its address cannot track contents.
+func (b *fbBuilder) sim() uint64 { return b.base }
 
 func (b *fbBuilder) grow(n int) int {
 	off := len(b.buf)
@@ -45,7 +47,9 @@ func (b *fbBuilder) grow(n int) int {
 		}
 		nb := make([]byte, off, newCap)
 		b.m.Charge(b.m.CPU.HeapAllocCy)
-		b.m.Copy(b.sim(), mem.UnpinnedSimAddr(nb[:cap(nb)]), off)
+		old := b.base
+		b.base = b.m.AllocSimAddr(newCap)
+		b.m.Copy(old, b.base, off)
 		copy(nb, b.buf)
 		b.buf = nb
 	}
@@ -63,12 +67,19 @@ func (b *fbBuilder) putBlob(data []byte, sim uint64) uint32 {
 
 // FBBuild serializes d into a fresh contiguous buffer.
 func FBBuild(d *Doc, m *costmodel.Meter) []byte {
-	b := &fbBuilder{buf: make([]byte, 0, 256), m: m}
+	buf, _ := FBBuildSim(d, m)
+	return buf
+}
+
+// FBBuildSim is FBBuild but also returns the simulated address the builder
+// left the bytes at, so a send can read the lines the build just wrote.
+func FBBuildSim(d *Doc, m *costmodel.Meter) ([]byte, uint64) {
+	b := &fbBuilder{buf: make([]byte, 0, 256), base: m.AllocSimAddr(256), m: m}
 	m.Charge(m.CPU.HeapAllocCy)
 	b.grow(4) // room for the root offset
 	root := b.table(d)
 	wire.PutU32(b.buf[0:], root)
-	return b.buf
+	return b.buf, b.sim()
 }
 
 func (b *fbBuilder) table(d *Doc) uint32 {

@@ -5,7 +5,6 @@ import (
 
 	"cornflakes/internal/core"
 	"cornflakes/internal/costmodel"
-	"cornflakes/internal/mem"
 )
 
 // protolite implements the Protocol Buffers wire format: each field is a
@@ -213,16 +212,17 @@ func ProtoUnmarshal(schema *core.Schema, data []byte, srcSim uint64, m *costmode
 			case core.KindBytes, core.KindString, core.KindBytesList, core.KindStringList:
 				// Deserialization copy into library-owned memory.
 				cp := make([]byte, len(payload))
+				cpSim := m.AllocSimAddr(len(payload))
 				m.Charge(m.CPU.HeapAllocCy)
-				m.Copy(paySim, mem.UnpinnedSimAddr(cp), len(payload))
+				m.Copy(paySim, cpSim, len(payload))
 				copy(cp, payload)
 				if f.Kind == core.KindString || f.Kind == core.KindStringList {
 					m.Charge(float64(len(cp)) * m.CPU.UTF8ValidateCyPerByte)
 				}
 				if f.Kind == core.KindBytes || f.Kind == core.KindString {
-					d.SetBytes(idx, cp, mem.UnpinnedSimAddr(cp))
+					d.SetBytes(idx, cp, cpSim)
 				} else {
-					d.AddBytes(idx, cp, mem.UnpinnedSimAddr(cp))
+					d.AddBytes(idx, cp, cpSim)
 				}
 			case core.KindIntList:
 				p := 0

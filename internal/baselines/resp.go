@@ -38,17 +38,26 @@ type RESPValue struct {
 // metering the data copies.
 type RESPWriter struct {
 	Buf []byte
+	sim uint64
 	m   *costmodel.Meter
 }
 
 // NewRESPWriter returns a writer with a warm initial buffer.
 func NewRESPWriter(m *costmodel.Meter) *RESPWriter {
 	m.Charge(m.CPU.HeapAllocCy)
-	return &RESPWriter{Buf: make([]byte, 0, 256), m: m}
+	return &RESPWriter{
+		Buf: make([]byte, 0, 256),
+		sim: m.AllocSimAddr(256),
+		m:   m,
+	}
 }
 
-// Sim returns the output buffer's simulated address.
-func (w *RESPWriter) Sim() uint64 { return mem.UnpinnedSimAddr(w.Buf) }
+// Sim returns the output buffer's simulated address, assigned when the
+// buffer was allocated — the buffer is mutated in place (and reused
+// across messages via Reset), so its address cannot track contents. A
+// long-lived server writer keeps one address and stays warm across
+// replies, as its real buffer does.
+func (w *RESPWriter) Sim() uint64 { return w.sim }
 
 // Reset clears the buffer for reuse.
 func (w *RESPWriter) Reset() { w.Buf = w.Buf[:0] }

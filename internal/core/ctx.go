@@ -110,7 +110,7 @@ func (c *Ctx) copyPtr(data []byte) CFPtr {
 	if c.DisableArena {
 		// Heap path: a fresh allocation per field, cold destination lines.
 		b := make([]byte, len(data))
-		v = mem.View{Data: b, Sim: mem.UnpinnedSimAddr(b)}
+		v = mem.View{Data: b, Sim: m.AllocSimAddr(len(data))}
 		m.Charge(m.CPU.HeapAllocCy)
 	} else {
 		v = c.Arena.Alloc(len(data))

@@ -13,6 +13,7 @@ package costmodel
 
 import (
 	"cornflakes/internal/cachesim"
+	"cornflakes/internal/mem"
 	"cornflakes/internal/sim"
 )
 
@@ -129,6 +130,12 @@ const (
 	CatApp
 	CatSerialize
 	CatTx
+	// CatShed captures the cycles of admission-control rejections: peeking
+	// the request id and transmitting the prebuilt shed reply. Without it,
+	// shed work lands in whatever category was last active and corrupts the
+	// Fig 11-style breakdown precisely in the overload regime where shedding
+	// dominates.
+	CatShed
 	CatOther
 	NumCategories
 )
@@ -145,6 +152,8 @@ func (c Category) String() string {
 		return "serialize"
 	case CatTx:
 		return "tx"
+	case CatShed:
+		return "shed"
 	default:
 		return "other"
 	}
@@ -191,6 +200,8 @@ type Meter struct {
 	pending float64 // cycles charged since the last Drain
 	receipt Receipt // cycles since the last TakeReceipt
 
+	allocCursor uint64 // bump cursor for AllocSimAddr scratch addresses
+
 	// Counters for analysis.
 	BytesCopied    uint64
 	MetadataTouch  uint64
@@ -201,6 +212,33 @@ type Meter struct {
 // NewMeter builds a meter over the given CPU and cache hierarchy.
 func NewMeter(cpu CPU, cache *cachesim.Hierarchy) *Meter {
 	return &Meter{CPU: cpu, Cache: cache}
+}
+
+// AllocSimAddr returns a deterministic simulated address for a fresh heap
+// chunk of the given size, advancing a per-meter bump cursor over a
+// 256 MiB scratch window. Chunks are cache-line aligned, so every fresh
+// allocation starts on cold lines — like the spread heap addresses a real
+// allocator hands back — while being reproducible across runs, which real
+// heap addresses are not (feeding those to the cache model made cycle
+// counts jitter between otherwise identical runs). The cursor recycles
+// only after a full window wrap, ~16× L3, long past residency. Buffers
+// that mutate in place keep the address assigned at allocation.
+func (m *Meter) AllocSimAddr(size int) uint64 {
+	const window = 256 << 20
+	// Round up to whole lines, plus one guard line between chunks: real
+	// allocators interleave headers and freed blocks, so back-to-back
+	// allocations are not line-adjacent. Without the gap, consecutive
+	// requests' fresh chunks form one long sequential line stream and the
+	// cache model's stream-prefetch detector hides their DRAM fills —
+	// cold destinations that should cost full misses stream in nearly
+	// free, inflating baseline throughput.
+	sz := ((uint64(size)+63)&^63 + 64)
+	if m.allocCursor+sz > window {
+		m.allocCursor = 0
+	}
+	a := mem.SimScratchBase + m.allocCursor
+	m.allocCursor += sz
+	return a
 }
 
 // SetCategory routes subsequent charges to the given category and returns

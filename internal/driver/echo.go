@@ -192,8 +192,8 @@ func (s *EchoServer) handleLib(p *mem.Buf) {
 			return baselines.ProtoMarshal(resp, dst, dstSim, m)
 		})
 	case SysFlatBuffers:
-		buf := baselines.FBBuild(resp, m)
-		err = s.N.UDP.SendContiguous(buf, mem.UnpinnedSimAddr(buf))
+		buf, bufSim := baselines.FBBuildSim(resp, m)
+		err = s.N.UDP.SendContiguous(buf, bufSim)
 	default:
 		cm := baselines.CapnpBuild(resp, m)
 		segs, sims := baselines.CapnpFlatten(cm)
@@ -250,7 +250,7 @@ func (c *EchoClient) BuildStep(id uint64, _ workloads.Request, _ int) []byte {
 	switch c.Sys {
 	case SysProtobuf:
 		buf := make([]byte, baselines.ProtoSize(d, m))
-		n := baselines.ProtoMarshal(d, buf, mem.UnpinnedSimAddr(buf), m)
+		n := baselines.ProtoMarshal(d, buf, m.AllocSimAddr(len(buf)), m)
 		return buf[:n]
 	case SysFlatBuffers:
 		return baselines.FBBuild(d, m)

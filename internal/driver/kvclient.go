@@ -5,7 +5,6 @@ import (
 
 	"cornflakes/internal/baselines"
 	"cornflakes/internal/core"
-	"cornflakes/internal/mem"
 	"cornflakes/internal/msgs"
 	"cornflakes/internal/workloads"
 )
@@ -127,7 +126,7 @@ func (c *KVClient) buildDoc(id uint64, req workloads.Request, step int) []byte {
 	switch c.Sys {
 	case SysProtobuf:
 		buf := make([]byte, baselines.ProtoSize(d, m))
-		n := baselines.ProtoMarshal(d, buf, mem.UnpinnedSimAddr(buf), m)
+		n := baselines.ProtoMarshal(d, buf, m.AllocSimAddr(len(buf)), m)
 		return buf[:n]
 	case SysFlatBuffers:
 		return baselines.FBBuild(d, m)

@@ -1,6 +1,8 @@
 package driver
 
 import (
+	"fmt"
+
 	"cornflakes/internal/baselines"
 	"cornflakes/internal/core"
 	"cornflakes/internal/costmodel"
@@ -9,6 +11,7 @@ import (
 	"cornflakes/internal/msgs"
 	"cornflakes/internal/netstack"
 	"cornflakes/internal/sim"
+	"cornflakes/internal/trace"
 	"cornflakes/internal/workloads"
 )
 
@@ -27,6 +30,11 @@ type KVServer struct {
 	// OnReceipt, when set, receives the per-request cycle breakdown
 	// (Figure 11).
 	OnReceipt func(r costmodel.Receipt)
+
+	// Trace, when set, receives per-request marks (queue dispatch, shed)
+	// and the same receipts OnReceipt sees, attributed to the owning flow
+	// by peeked request id. Wire it with AttachKVTracer.
+	Trace *trace.Tracer
 
 	// Adaptive, when set, adjusts the zero-copy threshold between requests
 	// from observed metadata cache behaviour (the §7 dynamic-threshold
@@ -125,11 +133,29 @@ func (s *KVServer) onPayload(p *mem.Buf) {
 		s.shed(p)
 		return
 	}
-	ok := s.N.Core.Submit(sim.Job{Run: func() sim.Time {
-		s.handle(p)
-		return s.N.Meter.DrainTime()
-	}})
+	// Peek the request id once (unmetered — tracing is observability, not
+	// modelled work) so the dispatch mark and the receipt can be attributed
+	// to the owning flow.
+	var tid uint64
+	traced := false
+	if s.Trace != nil {
+		tid, traced = s.reqID(p.Bytes())
+	}
+	ok := s.N.Core.Submit(sim.Job{
+		Start: func(enqueuedAt sim.Time) {
+			if traced {
+				s.Trace.Mark(tid, s.N.Eng.Now(), trace.PhaseHandle)
+			}
+		},
+		Run: func() sim.Time {
+			s.handle(p, tid, traced)
+			return s.N.Meter.DrainTime()
+		},
+	})
 	if !ok {
+		if traced {
+			s.Trace.Note(tid, "request dropped: rx ring overflow")
+		}
 		p.DecRef() // RX ring overflow: drop
 	}
 }
@@ -137,20 +163,7 @@ func (s *KVServer) onPayload(p *mem.Buf) {
 // reqID peeks the request id out of a framed request payload without a
 // full (metered) deserialization — just enough to address a shed reply.
 func (s *KVServer) reqID(p []byte) (uint64, bool) {
-	if len(p) < 2 {
-		return 0, false
-	}
-	body := p[1:]
-	switch s.Sys {
-	case SysCornflakes:
-		return core.PeekID(body)
-	case SysProtobuf:
-		return baselines.ProtoPeekID(body)
-	case SysFlatBuffers:
-		return baselines.FBPeekID(body)
-	default:
-		return baselines.CapnpPeekID(body)
-	}
+	return peekRequestID(s.Sys, p)
 }
 
 // shed rejects a request with an explicit ShedReply. The check runs at
@@ -172,7 +185,18 @@ func (s *KVServer) shed(p *mem.Buf) {
 // shedReplyTo sends the explicit rejection for a request id, counting it.
 // Also used mid-handling when a put's allocation fails: the client gets a
 // shed reply instead of a dropped request.
+//
+// The work is billed to CatShed: the fast path runs at frame-delivery time,
+// when the meter still carries whatever category the previous request left
+// active — without the explicit category, overload-regime breakdowns would
+// smear shed cycles across unrelated buckets.
 func (s *KVServer) shedReplyTo(id uint64) {
+	m := s.N.Meter
+	prev := m.SetCategory(costmodel.CatShed)
+	defer m.SetCategory(prev)
+	if s.Trace != nil {
+		s.Trace.Mark(id, s.N.Eng.Now(), trace.PhaseShed)
+	}
 	s.Shed++
 	reply := ShedReply(id)
 	sim := mem.UnpinnedSimAddr(reply)
@@ -192,15 +216,32 @@ func (s *KVServer) shedReplyTo(id uint64) {
 	}
 }
 
-func (s *KVServer) handle(p *mem.Buf) {
+// handle serves one request at its dispatch instant. tid/traced carry the
+// request id peeked at submit time, so the receipt can be attributed to the
+// owning flow (Run executes synchronously at dispatch, so Now() inside the
+// deferred block is still the dispatch instant the service spans tile
+// from).
+func (s *KVServer) handle(p *mem.Buf, tid uint64, traced bool) {
 	m := s.N.Meter
 	s.Handled++
+	fb0 := s.N.Ctx.Fallbacks
 	defer func() {
 		// Mass-free the per-request copied vectors (§3.2.2) and attribute
 		// inter-request work (completions, next RX) to the rx bucket.
 		s.N.Arena.Reset()
+		rec := m.TakeReceipt()
 		if s.OnReceipt != nil {
-			s.OnReceipt(m.TakeReceipt())
+			s.OnReceipt(rec)
+		}
+		if s.Trace != nil {
+			if traced {
+				if fb := s.N.Ctx.Fallbacks - fb0; fb > 0 {
+					s.Trace.Note(tid, fmt.Sprintf("copy fallback: %d field(s) demoted under pressure", fb))
+				}
+				s.Trace.ServiceReceipt(tid, s.N.Eng.Now(), rec)
+			} else {
+				s.Trace.AggregateOnly(rec)
+			}
 		}
 		if s.Adaptive != nil {
 			s.Adaptive.Observe()
@@ -401,8 +442,8 @@ func (s *KVServer) sendDoc(d *baselines.Doc) {
 			return baselines.ProtoMarshal(d, dst, dstSim, m)
 		})
 	case SysFlatBuffers:
-		buf := baselines.FBBuild(d, m)
-		err = s.N.UDP.SendContiguous(buf, mem.UnpinnedSimAddr(buf))
+		buf, bufSim := baselines.FBBuildSim(d, m)
+		err = s.N.UDP.SendContiguous(buf, bufSim)
 	default:
 		cm := baselines.CapnpBuild(d, m)
 		segs, sims := baselines.CapnpFlatten(cm)

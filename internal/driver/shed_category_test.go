@@ -1,0 +1,61 @@
+package driver
+
+import (
+	"testing"
+
+	"cornflakes/internal/costmodel"
+	"cornflakes/internal/loadgen"
+	"cornflakes/internal/nic"
+	"cornflakes/internal/sim"
+	"cornflakes/internal/workloads"
+)
+
+// Regression pin for shed metering. Admission control runs at
+// frame-delivery time, when the meter still carries whatever category the
+// previous request left active; before shedReplyTo set an explicit
+// category, those cycles smeared into neighbouring buckets and corrupted
+// the Fig 11-style breakdown exactly in the overload regime where shedding
+// dominates. A shed-everything run must bill its reply work to CatShed and
+// leave the serving categories untouched.
+func TestShedWorkBilledToShedCategory(t *testing.T) {
+	gen := workloads.NewYCSB(50, 512, 1)
+	tb := NewTestbed(nic.MellanoxCX6())
+	srv := NewKVServer(tb.Server, SysCornflakes)
+	srv.Preload(gen.Records())
+	// Cap the pool (occupancy is defined only against a cap) and set the
+	// shed threshold below the preloaded occupancy, so every request is
+	// rejected at delivery: the run exercises only the shed fast path.
+	tb.Server.Alloc.SetCap(tb.Server.Alloc.Stats().SlotsInUse + 64)
+	srv.ShedWater = 1e-9
+
+	res := loadgen.Run(loadgen.Config{
+		Eng: tb.Eng, EP: tb.Client.UDP,
+		Gen: gen, Client: NewKVClient(tb.Client, SysCornflakes),
+		RatePerS: 20_000, Warmup: 0, Measure: 2 * sim.Millisecond, Seed: 3,
+		Retry:  loadgen.RetryPolicy{Deadline: 300 * sim.Microsecond},
+		ShedID: ShedID,
+	})
+	tb.Eng.Run()
+
+	if srv.Shed == 0 || res.Shed == 0 {
+		t.Fatalf("expected shedding: server shed %d, client classified %d", srv.Shed, res.Shed)
+	}
+	if srv.Handled != 0 {
+		t.Fatalf("no request should have been served, handled %d", srv.Handled)
+	}
+
+	rec := tb.Server.Meter.TakeReceipt()
+	if rec.Cycles[costmodel.CatShed] == 0 {
+		t.Error("shed replies produced no CatShed cycles")
+	}
+	if rec.Cycles[costmodel.CatRx] == 0 {
+		t.Error("frame reception produced no CatRx cycles")
+	}
+	for _, cat := range []costmodel.Category{
+		costmodel.CatDeserialize, costmodel.CatApp, costmodel.CatSerialize, costmodel.CatTx,
+	} {
+		if cy := rec.Cycles[cat]; cy != 0 {
+			t.Errorf("%v cycles = %.1f on a shed-only run, want 0 (shed work leaked)", cat, cy)
+		}
+	}
+}

@@ -82,8 +82,8 @@ func (s *TCPEchoServer) handle(p *mem.Buf) {
 		for j, v := range req.F[2].B {
 			resp.AddBytes(2, v, req.F[2].Sim[j])
 		}
-		buf := baselines.FBBuild(resp, m)
-		if err := s.N.TCP.SendContiguous(buf, mem.UnpinnedSimAddr(buf)); err != nil {
+		buf, bufSim := baselines.FBBuildSim(resp, m)
+		if err := s.N.TCP.SendContiguous(buf, bufSim); err != nil {
 			s.Errors++
 		}
 		p.DecRef()

@@ -1,0 +1,193 @@
+package driver
+
+import (
+	"fmt"
+
+	"cornflakes/internal/baselines"
+	"cornflakes/internal/core"
+	"cornflakes/internal/netstack"
+	"cornflakes/internal/nic"
+	"cornflakes/internal/trace"
+)
+
+// Tracer wiring: the trace package identifies a request by its wire id (the
+// loadgen's request id), so every layer that observes a frame needs a cheap
+// way to peek the id out of raw payload bytes. Requests carry a one-byte op
+// tag ahead of the serialized body; responses are the bare serialized
+// object, or a ShedReply.
+
+// peekRequestID extracts the request id from a framed request payload (op
+// byte + serialized body) without a metered deserialization.
+func peekRequestID(sys System, p []byte) (uint64, bool) {
+	if len(p) < 2 {
+		return 0, false
+	}
+	body := p[1:]
+	switch sys {
+	case SysCornflakes:
+		return core.PeekID(body)
+	case SysProtobuf:
+		return baselines.ProtoPeekID(body)
+	case SysFlatBuffers:
+		return baselines.FBPeekID(body)
+	default:
+		return baselines.CapnpPeekID(body)
+	}
+}
+
+// peekResponseID extracts the request id from a response payload — a
+// ShedReply or a bare serialized response object.
+func peekResponseID(sys System, p []byte) (uint64, bool) {
+	if id, ok := ShedID(p); ok {
+		return id, true
+	}
+	switch sys {
+	case SysCornflakes:
+		return core.PeekID(p)
+	case SysProtobuf:
+		return baselines.ProtoPeekID(p)
+	case SysFlatBuffers:
+		return baselines.FBPeekID(p)
+	default:
+		return baselines.CapnpPeekID(p)
+	}
+}
+
+// AttachTracer wires a tracer into a testbed's transport layers, using the
+// given peek functions to map frames back to request ids:
+//
+//   - the client NIC port's Observer marks each request's TX chain
+//     (PhaseReqWire at DMA completion, PhaseReqProp at wire exit, PhaseQueue
+//     at server delivery) and notes frames lost on the wire;
+//   - the server NIC port's Observer marks the response TX chain
+//     (PhaseRspWire, PhaseRspProp) for replies and shed replies alike;
+//   - RX-side drops (runt frames, buffer exhaustion) and TCP-lite RTO
+//     retransmissions become notes on the owning flow.
+//
+// Frames whose id cannot be peeked (ACKs, corrupted frames) are skipped.
+// The hooks are pure observation: no timing or buffer behaviour changes.
+func AttachTracer(tb *Testbed, tr *trace.Tracer,
+	peekReq, peekResp func(p []byte) (uint64, bool)) {
+
+	hdrLen := netstack.PacketHeaderLen
+	if tb.Client.TCP != nil {
+		hdrLen = netstack.TCPHeaderLen
+	}
+	payloadOf := func(frame []byte) ([]byte, bool) {
+		if len(frame) <= hdrLen {
+			return nil, false
+		}
+		return frame[hdrLen:], true
+	}
+
+	clientPort(tb).Observer = func(r nic.TxRecord) {
+		p, ok := payloadOf(r.Data)
+		if !ok {
+			return
+		}
+		id, ok := peekReq(p)
+		if !ok {
+			return
+		}
+		if r.Dropped {
+			tr.Note(id, "request frame lost on the wire")
+			return
+		}
+		tr.Mark(id, r.DMADone, trace.PhaseReqWire)
+		tr.Mark(id, r.TxDone, trace.PhaseReqProp)
+		tr.Mark(id, r.DeliverAt, trace.PhaseQueue)
+	}
+	serverPort(tb).Observer = func(r nic.TxRecord) {
+		p, ok := payloadOf(r.Data)
+		if !ok {
+			return
+		}
+		id, ok := peekResp(p)
+		if !ok {
+			return
+		}
+		if r.Dropped {
+			tr.Note(id, "response frame lost on the wire")
+			return
+		}
+		tr.Mark(id, r.DMADone, trace.PhaseRspWire)
+		tr.Mark(id, r.TxDone, trace.PhaseRspProp)
+	}
+
+	if tb.Server.UDP != nil {
+		tb.Server.UDP.OnDrop = func(p []byte, reason string) {
+			if id, ok := peekReq(p); ok {
+				tr.Note(id, "request dropped at server RX: "+reason)
+			}
+		}
+	}
+	if tb.Client.UDP != nil {
+		tb.Client.UDP.OnDrop = func(p []byte, reason string) {
+			if id, ok := peekResp(p); ok {
+				tr.Note(id, "response dropped at client RX: "+reason)
+			}
+		}
+	}
+	if tb.Client.TCP != nil {
+		tb.Client.TCP.OnRetransmit = func(p []byte) {
+			if id, ok := peekReq(p); ok {
+				tr.Note(id, "request retransmitted (RTO)")
+			}
+		}
+	}
+	if tb.Server.TCP != nil {
+		tb.Server.TCP.OnRetransmit = func(p []byte) {
+			if id, ok := peekResp(p); ok {
+				tr.Note(id, "response retransmitted (RTO)")
+			}
+		}
+	}
+}
+
+// AttachKVTracer wires a tracer through every layer of a KV testbed: the
+// transport hooks of AttachTracer with the KV codecs' peek functions, plus
+// the server-side hooks (PhaseHandle at core dispatch, PhaseShed on
+// admission-control rejection, per-request receipts) via KVServer.Trace.
+func AttachKVTracer(tb *Testbed, srv *KVServer, tr *trace.Tracer) {
+	sys := srv.Sys
+	AttachTracer(tb, tr,
+		func(p []byte) (uint64, bool) { return peekRequestID(sys, p) },
+		func(p []byte) (uint64, bool) { return peekResponseID(sys, p) })
+	srv.Trace = tr
+}
+
+// RegisterServerGauges registers the standard server-health gauges on a
+// registry, in a fixed deterministic order: pinned-memory occupancy, core
+// load and queueing, admission-control and fallback activity, and stack
+// drop counters.
+func RegisterServerGauges(reg *trace.Registry, tb *Testbed, srv *KVServer) {
+	alloc := tb.Server.Alloc
+	c := tb.Server.Core
+	ctx := tb.Server.Ctx
+	reg.Register("server.mem.slots", func() float64 { return float64(alloc.Stats().SlotsInUse) })
+	reg.Register("server.mem.peak", func() float64 { return float64(alloc.Stats().PeakSlotsInUse) })
+	reg.Register("server.mem.occupancy", func() float64 { return alloc.Occupancy() })
+	reg.Register("server.core.util", func() float64 { return c.Utilization() })
+	reg.Register("server.core.queue", func() float64 { return float64(c.QueueLen()) })
+	reg.Register("server.core.dropped", func() float64 { return float64(c.Dropped) })
+	reg.Register("server.shed", func() float64 { return float64(srv.Shed) })
+	reg.Register("server.fallbacks", func() float64 { return float64(ctx.Fallbacks) })
+	if u := tb.Server.UDP; u != nil {
+		reg.Register("server.udp.rx_nomem", func() float64 { return float64(u.RxNoMem) })
+		reg.Register("server.udp.tx_nomem", func() float64 { return float64(u.TxNoMem) })
+	}
+}
+
+// clientPort and serverPort reach through whichever stack a node runs.
+func clientPort(tb *Testbed) *nic.Port { return nodePort(tb.Client) }
+func serverPort(tb *Testbed) *nic.Port { return nodePort(tb.Server) }
+
+func nodePort(n *Node) *nic.Port {
+	if n.TCP != nil {
+		return n.TCP.Port
+	}
+	if n.UDP != nil {
+		return n.UDP.Port
+	}
+	panic(fmt.Sprintf("driver: node %p has no stack", n))
+}

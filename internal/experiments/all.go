@@ -32,5 +32,8 @@ func All() map[string]func(Scale) *Report {
 		// the overload sweep for the graceful-degradation ladder.
 		"soak":     Soak,
 		"overload": Overload,
+		// Observability: the tracing layer's contracts, checked end to end on
+		// a traced overload run (exports a Chrome trace-event artifact).
+		"trace": TraceExp,
 	}
 }

@@ -53,6 +53,8 @@ func TestTab3(t *testing.T)  { t.Parallel(); runExperiment(t, "tab3") }
 func TestTab4(t *testing.T)  { t.Parallel(); runExperiment(t, "tab4") }
 func TestTab5(t *testing.T)  { t.Parallel(); runExperiment(t, "tab5") }
 
+func TestTrace(t *testing.T) { t.Parallel(); runExperiment(t, "trace") }
+
 func TestExtAdaptive(t *testing.T)  { t.Parallel(); runExperiment(t, "ext-adaptive") }
 func TestExtArena(t *testing.T)     { t.Parallel(); runExperiment(t, "ext-arena") }
 func TestExtSegment(t *testing.T)   { t.Parallel(); runExperiment(t, "ext-segment") }
@@ -63,7 +65,8 @@ func TestAllRegistryComplete(t *testing.T) {
 	all := All()
 	want := []string{"fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "tab1", "tab2", "tab3", "tab4", "tab5",
-		"ext-adaptive", "ext-arena", "ext-segment", "ext-multicore", "soak", "overload"}
+		"ext-adaptive", "ext-arena", "ext-segment", "ext-multicore", "soak", "overload",
+		"trace"}
 	if len(all) != len(want) {
 		t.Errorf("registry has %d entries, want %d", len(all), len(want))
 	}

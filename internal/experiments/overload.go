@@ -6,6 +6,7 @@ import (
 	"cornflakes/internal/driver"
 	"cornflakes/internal/loadgen"
 	"cornflakes/internal/sim"
+	"cornflakes/internal/trace"
 	"cornflakes/internal/workloads"
 )
 
@@ -68,19 +69,28 @@ type OverloadPoint struct {
 	Fallbacks, Shed, ShedReplyErrs, AllocFailures uint64
 }
 
+// newOverloadTestbed builds a fresh capped KV testbed with the
+// graceful-degradation thresholds derived from its post-preload baseline —
+// the shared setup of the overload sweep and the traced overload run. It
+// returns the baseline occupancy and the hard cap alongside the testbed.
+func newOverloadTestbed(o kvOpts) (tb *driver.Testbed, srv *driver.KVServer,
+	client *driver.KVClient, base, capSlots int64) {
+	tb, srv, client = newKVTestbed(o)
+	base = tb.Server.Alloc.Stats().SlotsInUse
+	capSlots = base + overloadHeadroom
+	tb.Server.Alloc.SetCap(capSlots)
+	tb.Server.Ctx.HighWater = float64(base+overloadHeadroom*35/100) / float64(capSlots)
+	srv.ShedQueue = overloadHeadroom * 60 / 100
+	srv.ShedWater = float64(base+overloadHeadroom*85/100) / float64(capSlots)
+	return tb, srv, client, base, capSlots
+}
+
 // OverloadAt runs one offered-load point of the overload sweep: a fresh
 // capped server, thresholds derived from its post-preload baseline, and a
 // retrying client that classifies shed replies.
 func OverloadAt(sc Scale, rate float64) OverloadPoint {
 	o := overloadOpts(sc)
-	tb, srv, client := newKVTestbed(o)
-
-	base := tb.Server.Alloc.Stats().SlotsInUse
-	capSlots := base + overloadHeadroom
-	tb.Server.Alloc.SetCap(capSlots)
-	tb.Server.Ctx.HighWater = float64(base+overloadHeadroom*35/100) / float64(capSlots)
-	srv.ShedQueue = overloadHeadroom * 60 / 100
-	srv.ShedWater = float64(base+overloadHeadroom*85/100) / float64(capSlots)
+	tb, srv, client, base, capSlots := newOverloadTestbed(o)
 
 	res := loadgen.Run(loadgen.Config{
 		Eng: tb.Eng, EP: tb.Client.UDP,
@@ -240,6 +250,20 @@ func Overload(sc Scale) *Report {
 		top.Fallbacks, shedRate(top)*100, timeoutRate(top)*100)
 	r.AddCheck("degradation: goodput continued at the first past-capacity point",
 		servedPastKnee, "capacity %.0f rps", capRps)
+
+	// On request (Scale.Trace / cf-bench -trace), re-run the deepest
+	// overload point with the tracing layer attached and ship the export as
+	// a report artifact — the per-request view of the shed/retry ladder the
+	// table above aggregates away.
+	if sc.Trace {
+		tr := TracedOverloadRun(sc, rates[len(rates)-1], trace.Config{
+			SampleEvery: traceSampleEvery, SlowestK: traceSlowestK,
+		})
+		r.AddArtifact("overload-trace.json", tr.JSON)
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"trace artifact overload-trace.json: %d retained flows at %.0f rps",
+			len(tr.Tracer.Retained()), tr.Res.OfferedRps))
+	}
 
 	return r
 }

@@ -46,6 +46,18 @@ type Report struct {
 	Rows   [][]string
 	Notes  []string
 	Checks []Check
+	// Artifacts holds binary side outputs keyed by suggested filename —
+	// e.g. the Chrome trace JSON of a traced run. cf-bench writes them out
+	// when given an artifact directory.
+	Artifacts map[string][]byte
+}
+
+// AddArtifact records a binary side output under a suggested filename.
+func (r *Report) AddArtifact(name string, data []byte) {
+	if r.Artifacts == nil {
+		r.Artifacts = map[string][]byte{}
+	}
+	r.Artifacts[name] = data
 }
 
 // Check is one shape assertion derived from the paper's claims.
@@ -125,6 +137,9 @@ type Scale struct {
 	SweepPoints int
 	// Cores caps Fig 13's core count.
 	Cores int
+	// Trace asks experiments that support it to attach a per-request trace
+	// artifact (Chrome trace-event JSON) to the report.
+	Trace bool
 }
 
 // Full is the default experiment scale.

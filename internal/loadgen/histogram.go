@@ -84,10 +84,18 @@ func (h *Histogram) Quantile(p float64) sim.Time {
 	for i, c := range h.buckets {
 		cum += c
 		if cum >= target {
-			// Report the bucket's upper edge.
-			return sim.Time(i+1) * histBucketSize
+			// Report the bucket's upper edge, clamped to the observed
+			// maximum: a single 100 ns sample must report p50 = 100 ns, not
+			// the 250 ns bucket edge — a quantile may never exceed Max().
+			q := sim.Time(i+1) * histBucketSize
+			if q > h.max {
+				q = h.max
+			}
+			return q
 		}
 	}
+	// All remaining mass is in the overflow bucket; the observed maximum is
+	// the tightest statement the histogram can make.
 	return h.max
 }
 

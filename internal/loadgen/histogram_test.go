@@ -1,0 +1,70 @@
+package loadgen
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"cornflakes/internal/sim"
+)
+
+// Regression: a quantile must never exceed the observed maximum. Before the
+// clamp, a single 100 ns sample reported p50 = 250 ns (the bucket's upper
+// edge) — larger than Max().
+func TestQuantileClampedToMax(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100 * sim.Nanosecond)
+	for _, p := range []float64{0.01, 0.5, 0.99, 1} {
+		if q := h.Quantile(p); q != 100*sim.Nanosecond {
+			t.Errorf("Quantile(%v) = %v, want 100ns (the only sample)", p, q)
+		}
+	}
+}
+
+// Regression: samples past the last bucket land in the overflow bucket; the
+// quantile there is the observed maximum, not zero or a bucket edge.
+func TestQuantileAllSamplesInOverflow(t *testing.T) {
+	h := NewHistogram()
+	big := sim.Time(histBuckets)*histBucketSize + 5*sim.Millisecond
+	h.Record(big)
+	h.Record(big + sim.Millisecond)
+	for _, p := range []float64{0.01, 0.5, 0.99, 1} {
+		if q := h.Quantile(p); q != big+sim.Millisecond {
+			t.Errorf("Quantile(%v) = %v, want the observed max %v", p, q, big+sim.Millisecond)
+		}
+	}
+}
+
+// Property: Quantile(p) <= Max() for arbitrary recorded distributions, and
+// quantiles are monotone non-decreasing in p.
+func TestQuantileNeverExceedsMax(t *testing.T) {
+	r := rand.New(rand.NewPCG(42, 0))
+	ps := []float64{0.001, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for trial := 0; trial < 50; trial++ {
+		h := NewHistogram()
+		n := 1 + r.IntN(200)
+		for i := 0; i < n; i++ {
+			// Spread across regimes: sub-bucket, mid-range, and overflow.
+			var d sim.Time
+			switch r.IntN(3) {
+			case 0:
+				d = sim.Time(r.Int64N(int64(histBucketSize)))
+			case 1:
+				d = sim.Time(r.Int64N(int64(sim.Millisecond)))
+			default:
+				d = sim.Time(histBuckets)*histBucketSize + sim.Time(r.Int64N(int64(sim.Millisecond)))
+			}
+			h.Record(d)
+		}
+		prev := sim.Time(0)
+		for _, p := range ps {
+			q := h.Quantile(p)
+			if q > h.Max() {
+				t.Fatalf("trial %d: Quantile(%v) = %v exceeds Max() = %v", trial, p, q, h.Max())
+			}
+			if q < prev {
+				t.Fatalf("trial %d: Quantile(%v) = %v below Quantile at smaller p (%v)", trial, p, q, prev)
+			}
+			prev = q
+		}
+	}
+}

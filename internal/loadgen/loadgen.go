@@ -3,9 +3,11 @@ package loadgen
 import (
 	"math"
 	"math/rand/v2"
+	"sort"
 
 	"cornflakes/internal/mem"
 	"cornflakes/internal/sim"
+	"cornflakes/internal/trace"
 	"cornflakes/internal/workloads"
 )
 
@@ -86,6 +88,12 @@ type Config struct {
 	// Shed flows are terminal — retrying work the server just refused
 	// would amplify the overload the shed exists to relieve.
 	ShedID func(p []byte) (uint64, bool)
+
+	// Tracer, when set, records a span timeline for every flow: the client
+	// marks sends, backoffs and terminal outcomes here, and registers each
+	// attempt's wire id so the instrumented transport layers (NIC observer,
+	// server dispatch) can attribute their marks to the owning flow.
+	Tracer *trace.Tracer
 }
 
 // Result summarises one run. With the retry policy enabled the accounting
@@ -141,6 +149,8 @@ type flow struct {
 	attempts int
 	// timer is the pending deadline for the current attempt.
 	timer sim.Timer
+	// tr is the flow's trace record (nil when tracing is off).
+	tr *trace.Flow
 }
 
 // Run executes one open-loop run and returns the measured result.
@@ -174,6 +184,9 @@ func Run(cfg Config) Result {
 		id := nextID
 		nextID++
 		flows[id] = f
+		// Register the attempt before posting: the NIC observer's marks for
+		// this frame resolve through the wire id registered here.
+		cfg.Tracer.Attempt(f.tr, id, eng.Now())
 		payload := cfg.Client.BuildStep(id, f.req, f.step)
 		cfg.EP.SendContiguous(payload, mem.UnpinnedSimAddr(payload))
 		if cfg.Retry.enabled() {
@@ -183,10 +196,13 @@ func Run(cfg Config) Result {
 				}
 				delete(flows, id)
 				expired[id] = true
-				if f.attempts >= cfg.Retry.MaxRetries {
+				willRetry := f.attempts < cfg.Retry.MaxRetries
+				cfg.Tracer.Timeout(f.tr, id, eng.Now(), willRetry)
+				if !willRetry {
 					if f.measured {
 						res.TimedOut++
 					}
+					cfg.Tracer.EndFlow(f.tr, eng.Now(), trace.OutcomeTimedOut)
 					return
 				}
 				// Capped exponential backoff plus jitter of up to half the
@@ -208,6 +224,7 @@ func Run(cfg Config) Result {
 		f.timer.Cancel()
 		delete(flows, id)
 		expired[id] = true
+		cfg.Tracer.AttemptEnd(id)
 	}
 
 	cfg.EP.SetRecvHandler(func(p *mem.Buf) {
@@ -230,6 +247,7 @@ func Run(cfg Config) Result {
 				if f.measured {
 					res.Shed++
 				}
+				cfg.Tracer.EndFlow(f.tr, now, trace.OutcomeShed)
 				return
 			}
 		}
@@ -268,6 +286,7 @@ func Run(cfg Config) Result {
 			respBytes += uint64(p.Len())
 			res.Latency.Record(now - f.start)
 		}
+		cfg.Tracer.EndFlow(f.tr, now, trace.OutcomeCompleted)
 	})
 
 	var arrive func()
@@ -281,6 +300,7 @@ func Run(cfg Config) Result {
 		if f.measured {
 			res.Sent++
 		}
+		f.tr = cfg.Tracer.BeginFlow(now, f.measured)
 		sendStep(f)
 		eng.After(interarrival(), arrive)
 	}
@@ -303,11 +323,20 @@ func Run(cfg Config) Result {
 	eng.RunUntil(measureEnd + drain)
 
 	// Whatever is still pending went neither way; with timeouts enabled
-	// the drain window above guarantees this is empty.
-	for _, f := range flows {
+	// the drain window above guarantees this is empty. Iterate in sorted id
+	// order so the tracer's abandonment records — and therefore a trace
+	// export — stay deterministic.
+	ids := make([]uint64, 0, len(flows))
+	for id := range flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := flows[id]
 		if f.measured {
 			res.Unresolved++
 		}
+		cfg.Tracer.EndFlow(f.tr, eng.Now(), trace.OutcomeAbandoned)
 	}
 
 	res.SentRps = float64(res.Sent) / cfg.Measure.Seconds()

@@ -108,23 +108,38 @@ type Allocator struct {
 // SimDataBase and SimMetaBase separate the simulated address ranges for
 // buffer data and refcount metadata. SimUnpinnedBase is the range used to
 // derive stable pseudo-addresses for ordinary (unpinned) Go memory so the
-// cache model can still see accesses to it.
+// cache model can still see accesses to it; SimScratchBase is the window
+// the per-meter bump allocator (costmodel.Meter.AllocSimAddr) assigns
+// fresh heap chunks from.
 const (
 	SimDataBase     = 0x0000_1000_0000_0000
 	SimUnpinnedBase = 0x0000_4000_0000_0000
+	SimScratchBase  = 0x0000_6000_0000_0000
 	SimMetaBase     = 0x0000_F000_0000_0000
 )
 
-// UnpinnedSimAddr returns a stable simulated address for unpinned memory,
-// derived from its real address. Go's GC does not move heap objects, so the
-// mapping is stable for the lifetime of the slice.
+// UnpinnedSimAddr returns a deterministic simulated address for unpinned
+// memory, derived from an FNV-1a hash of its contents folded into a 1 TiB
+// window. Hashing contents rather than the real heap address keeps whole
+// runs reproducible across processes: real addresses vary with heap layout,
+// and feeding them to the cache model made cycle counts jitter between
+// otherwise identical runs. Buffers with identical bytes alias — which is
+// harmless here (payloads embed unique request ids) and, for true repeats
+// like retransmitted frames, models the buffer reuse a real allocator does.
+// Buffers that are mutated in place cannot hash their contents; they keep
+// an address assigned at allocation (costmodel.Meter.AllocSimAddr).
 func UnpinnedSimAddr(p []byte) uint64 {
 	if len(p) == 0 {
 		return SimUnpinnedBase
 	}
-	real := uint64(uintptr(unsafe.Pointer(unsafe.SliceData(p))))
-	return SimUnpinnedBase + (real & 0xFF_FFFF_FFFF) // fold into a 1 TiB window
+	h := uint64(14695981039346656037)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return SimUnpinnedBase + (h & 0xFF_FFFF_FFFF) // fold into a 1 TiB window
 }
+
 
 // NewAllocator returns an empty pinned allocator.
 func NewAllocator() *Allocator {

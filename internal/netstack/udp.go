@@ -53,6 +53,12 @@ type UDP struct {
 	// DMA-safe buffers). The callee owns the buffer reference.
 	recv func(payload *mem.Buf)
 
+	// OnDrop, when set, is called for frames the RX path discards before
+	// the handler sees them (runt frames, RX buffer exhaustion), with the
+	// raw frame payload and a reason tag. The tracer uses it to annotate
+	// the request a drop silenced; the payload must not be retained.
+	OnDrop func(payload []byte, reason string)
+
 	// Stats.
 	TxPackets, RxPackets uint64
 	TxZCEntries          uint64
@@ -80,6 +86,9 @@ func (u *UDP) onFrame(f *nic.Frame) {
 	u.RxPackets++
 	u.Meter.Charge(u.Meter.CPU.RxPacketCy)
 	if len(f.Data) <= PacketHeaderLen {
+		if u.OnDrop != nil {
+			u.OnDrop(f.Data, "runt")
+		}
 		return // runt frame
 	}
 	payload := f.Data[PacketHeaderLen:]
@@ -89,6 +98,9 @@ func (u *UDP) onFrame(f *nic.Frame) {
 		// real NIC drops when the posted RX ring is empty. Counted, never
 		// silent — the transport (TCP-lite RTO, client retry) recovers.
 		u.RxNoMem++
+		if u.OnDrop != nil {
+			u.OnDrop(payload, "rx-nomem")
+		}
 		return
 	}
 	copy(buf.Bytes(), payload) // DMA write: no CPU charge
@@ -140,11 +152,16 @@ func (u *UDP) post(entries []nic.SGEntry) error {
 		err = u.Port.Send(entries)
 	}
 	if err != nil {
+		// A refused post unwinds inline: the completion charges the release
+		// hooks pay belong to the transmit attempt, not to whatever category
+		// the serializer happened to leave active.
+		prev := m.SetCategory(costmodel.CatTx)
 		for _, e := range entries {
 			if e.Release != nil {
 				e.Release()
 			}
 		}
+		m.SetCategory(prev)
 		return err
 	}
 	u.TxPackets++
@@ -235,13 +252,16 @@ func (u *UDP) SendObject(obj core.Obj) error {
 		ext, err := u.Alloc.TryAlloc(total)
 		if err != nil {
 			// Release the references already taken for the built entries
-			// before reporting failure — no refs may leak on this path.
+			// before reporting failure — no refs may leak on this path, and
+			// the unwind is billed to the transmit attempt.
 			u.TxNoMem++
+			prev := m.SetCategory(costmodel.CatTx)
 			for _, e := range entries {
 				if e.Release != nil {
 					e.Release()
 				}
 			}
+			m.SetCategory(prev)
 			return err
 		}
 		m.Charge(m.CPU.DMABufAllocCy)

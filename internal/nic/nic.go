@@ -153,6 +153,25 @@ func frameFCS(data []byte) uint32 {
 	return sum
 }
 
+// TxRecord is the timing record of one transmitted frame, reported to the
+// port's Observer at DMA completion.
+type TxRecord struct {
+	// Posted is when Send was called; DMADone when the gather finished and
+	// buffers were released; TxDone when the frame left the wire; DeliverAt
+	// when it reaches the peer (before any interceptor-added delay).
+	Posted, DMADone, TxDone, DeliverAt sim.Time
+	// Bytes and Entries describe the frame; Data is the assembled frame
+	// contents (read-only — the same backing array is delivered to the
+	// peer).
+	Bytes   int
+	Entries int
+	Data    []byte
+	// Dropped reports that the frame was lost on the wire (InjectLoss, or
+	// an Interceptor returning no deliveries); DeliverAt is then the time
+	// it would have arrived.
+	Dropped bool
+}
+
 // Port is one NIC attached to one end of a link.
 type Port struct {
 	eng     *sim.Engine
@@ -179,6 +198,14 @@ type Port struct {
 	// before the NIC takes any buffer reference. Tests use it to exercise
 	// the stack's transmit-failure paths deterministically.
 	InjectSendErr func() error
+
+	// Observer, when set, is called once per posted frame at DMA-completion
+	// time with the frame's timing record. By then every instant in the
+	// record is determined (wire serialization and delivery are scheduled,
+	// not speculative), so a tracer can mark a request's whole TX chain from
+	// one callback. Observation is passive: it never alters timing, buffer
+	// release, or delivery.
+	Observer func(TxRecord)
 
 	// DroppedFrames counts frames lost on the wire (InjectLoss plus frames
 	// the Interceptor returned no deliveries for).
@@ -287,8 +314,19 @@ func (p *Port) Send(entries []SGEntry) error {
 				e.Release()
 			}
 		}
+		observe := func(dropped bool) {
+			if p.Observer != nil {
+				p.Observer(TxRecord{
+					Posted: sentAt, DMADone: dmaDone, TxDone: txDone,
+					DeliverAt: txDone + p.propag,
+					Bytes:     total, Entries: len(ents), Data: data,
+					Dropped: dropped,
+				})
+			}
+		}
 		if p.InjectLoss != nil && p.InjectLoss(data) {
 			p.DroppedFrames++
+			observe(true)
 			return
 		}
 		peer := p.peer
@@ -300,6 +338,7 @@ func (p *Port) Send(entries []SGEntry) error {
 			}
 		}
 		if p.Interceptor == nil {
+			observe(false)
 			p.eng.At(txDone+p.propag, func() { arrive(data) })
 			return
 		}
@@ -308,6 +347,7 @@ func (p *Port) Send(entries []SGEntry) error {
 		// interceptor is discarded by the receiving NIC.
 		fcs := frameFCS(data)
 		ds := p.Interceptor(data)
+		observe(len(ds) == 0)
 		if len(ds) == 0 {
 			p.DroppedFrames++
 			return

@@ -2,10 +2,21 @@ package sim
 
 // Job is a unit of work submitted to a Core. Run executes when the core
 // picks the job up and returns the service time the job occupies the core
-// for; Done (optional) fires when that service time elapses.
+// for; Done (optional) fires when that service time elapses; Start
+// (optional) fires when the core picks the job up, just before Run, with
+// the time the job was submitted — so queue wait (pickup − submission) is
+// observable per job, which the per-request tracer needs.
 type Job struct {
-	Run  func() Time
-	Done func()
+	Run   func() Time
+	Done  func()
+	Start func(enqueuedAt Time)
+}
+
+// queuedJob pairs a job with its submission time so queue wait can be
+// accounted when the job is dispatched.
+type queuedJob struct {
+	job Job
+	enq Time
 }
 
 // Core models a single CPU core as a FIFO queueing server. Work arrives via
@@ -16,8 +27,12 @@ type Job struct {
 // drops.
 type Core struct {
 	eng  *Engine
-	q    []Job
+	q    []queuedJob
 	busy bool
+	// busySince marks the start of the current busy period; BusyTime only
+	// accumulates completed busy periods, so mid-period accounting comes
+	// from busyElapsed instead of pre-crediting a job's full service time.
+	busySince Time
 
 	// MaxQueue bounds the number of waiting jobs; submissions beyond it are
 	// dropped (counted in Dropped). Zero means unbounded. A bound models the
@@ -26,9 +41,15 @@ type Core struct {
 	MaxQueue int
 
 	// Statistics.
-	BusyTime Time
+	BusyTime Time // completed busy periods only; see Utilization
 	JobsDone uint64
 	Dropped  uint64
+	// QueueWait accumulates submission→dispatch wait across all dispatched
+	// jobs; MaxQueueWait is the worst single wait. Together with Job.Start
+	// these make queue delay a first-class, per-job observable rather than
+	// something inferred from tail latency.
+	QueueWait    Time
+	MaxQueueWait Time
 }
 
 // NewCore returns an idle core bound to eng.
@@ -42,8 +63,10 @@ func (c *Core) Submit(j Job) bool {
 		c.Dropped++
 		return false
 	}
-	c.q = append(c.q, j)
+	c.q = append(c.q, queuedJob{job: j, enq: c.eng.Now()})
 	if !c.busy {
+		c.busy = true
+		c.busySince = c.eng.Now()
 		c.dispatch()
 	}
 	return true
@@ -56,35 +79,59 @@ func (c *Core) QueueLen() int { return len(c.q) }
 // Busy reports whether a job is currently in service.
 func (c *Core) Busy() bool { return c.busy }
 
+// busyElapsed is the busy time actually elapsed by now: completed busy
+// periods plus the in-progress one. Unlike the pre-fix accounting (which
+// credited a job's full service time at dispatch), this never counts time
+// that has not passed yet.
+func (c *Core) busyElapsed() Time {
+	b := c.BusyTime
+	if c.busy {
+		b += c.eng.Now() - c.busySince
+	}
+	return b
+}
+
 // Utilization returns the fraction of time the core has been busy since the
-// start of the simulation.
+// start of the simulation. It is exact at every instant — sampling mid-job
+// counts only the portion of the job already served, so the value can never
+// overshoot 1 and never decreases while the core stays busy.
 func (c *Core) Utilization() float64 {
-	if c.eng.Now() == 0 {
+	now := c.eng.Now()
+	if now == 0 {
 		return 0
 	}
-	return float64(c.BusyTime) / float64(c.eng.Now())
+	return float64(c.busyElapsed()) / float64(now)
 }
 
 func (c *Core) dispatch() {
 	if len(c.q) == 0 {
+		// Busy period over: bank it.
+		c.BusyTime += c.eng.Now() - c.busySince
 		c.busy = false
 		return
 	}
-	c.busy = true
-	j := c.q[0]
+	qj := c.q[0]
 	// Shift rather than reslice forever so the backing array is reused.
 	copy(c.q, c.q[1:])
+	c.q[len(c.q)-1] = queuedJob{}
 	c.q = c.q[:len(c.q)-1]
 
-	d := j.Run()
+	wait := c.eng.Now() - qj.enq
+	c.QueueWait += wait
+	if wait > c.MaxQueueWait {
+		c.MaxQueueWait = wait
+	}
+	if qj.job.Start != nil {
+		qj.job.Start(qj.enq)
+	}
+	d := qj.job.Run()
 	if d < 0 {
 		d = 0
 	}
-	c.BusyTime += d
 	c.eng.After(d, func() {
 		c.JobsDone++
-		if j.Done != nil {
-			j.Done()
+		if qj.job.Done != nil {
+			qj.job.Done()
 		}
 		c.dispatch()
 	})

@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+// Regression: Utilization sampled mid-job must count only the portion of the
+// job already served. The pre-fix accounting credited the whole service time
+// at dispatch, so a core 10 ns into a 1 µs job at t=20 ns reported
+// utilization 50 — not a fraction at all.
+func TestUtilizationNeverOvershoots(t *testing.T) {
+	e := NewEngine()
+	c := NewCore(e)
+	e.At(10, func() {
+		c.Submit(Job{Run: func() Time { return 1000 }})
+	})
+	samples := []Time{5, 20, 500, 1010, 2000}
+	for _, at := range samples {
+		at := at
+		e.At(at, func() {
+			u := c.Utilization()
+			if u < 0 || u > 1 {
+				t.Errorf("Utilization() at t=%v = %v, want within [0,1]", at, u)
+			}
+		})
+	}
+	e.Run()
+	// After the run: busy 10→1010 out of 2000 observed ns.
+	if got := c.BusyTime; got != 1000 {
+		t.Errorf("BusyTime = %v, want 1000", got)
+	}
+}
+
+// Utilization is monotone non-decreasing while the core stays busy, and
+// exact at every sampled instant.
+func TestUtilizationExactMidJob(t *testing.T) {
+	e := NewEngine()
+	c := NewCore(e)
+	c.Submit(Job{Run: func() Time { return 100 }})
+	e.At(50, func() {
+		if u := c.Utilization(); u != 1.0 {
+			t.Errorf("Utilization() halfway through the only job = %v, want 1.0", u)
+		}
+	})
+	e.At(200, func() {
+		if u := c.Utilization(); u != 0.5 {
+			t.Errorf("Utilization() at t=200 after 100 busy = %v, want 0.5", u)
+		}
+	})
+	e.Run()
+}
+
+// Job.Start reports the submission time at dispatch, making queue wait a
+// per-job observable; QueueWait/MaxQueueWait aggregate it.
+func TestQueueWaitObservable(t *testing.T) {
+	e := NewEngine()
+	c := NewCore(e)
+	var starts []Time // enqueuedAt values in dispatch order
+	mk := func() Job {
+		return Job{
+			Start: func(enq Time) { starts = append(starts, enq) },
+			Run:   func() Time { return 100 },
+		}
+	}
+	e.At(0, func() { c.Submit(mk()) })  // dispatched at 0, wait 0
+	e.At(10, func() { c.Submit(mk()) }) // dispatched at 100, wait 90
+	e.At(20, func() { c.Submit(mk()) }) // dispatched at 200, wait 180
+	e.Run()
+	want := []Time{0, 10, 20}
+	if len(starts) != len(want) {
+		t.Fatalf("Start fired %d times, want %d", len(starts), len(want))
+	}
+	for i, enq := range starts {
+		if enq != want[i] {
+			t.Errorf("Start[%d] enqueuedAt = %v, want %v", i, enq, want[i])
+		}
+	}
+	if c.QueueWait != 0+90+180 {
+		t.Errorf("QueueWait = %v, want 270", c.QueueWait)
+	}
+	if c.MaxQueueWait != 180 {
+		t.Errorf("MaxQueueWait = %v, want 180", c.MaxQueueWait)
+	}
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"cornflakes/internal/sim"
+)
+
+// Chrome trace-event export: the JSON object format consumed by
+// chrome://tracing and https://ui.perfetto.dev. One process groups the
+// request timelines (one thread per retained flow), a second groups the
+// per-request server-CPU receipt spans, and a third carries the registry's
+// gauge samples as counter tracks.
+//
+// The writer emits JSON by hand with integer-only arithmetic for
+// timestamps (trace ts/dur are microseconds; sim.Time is picoseconds, so
+// fractions are exact six-digit decimals). Nothing iterates a map, so the
+// output is byte-stable for a deterministic run — stable enough to pin
+// with a golden-file test.
+
+const (
+	pidRequests = 1
+	pidService  = 2
+	pidGauges   = 3
+)
+
+// usec formats a virtual-clock instant or duration as trace microseconds
+// with exact picosecond precision, using only integer math.
+func usec(t sim.Time) string {
+	if t < 0 {
+		t = 0
+	}
+	return fmt.Sprintf("%d.%06d", t/sim.Microsecond, t%sim.Microsecond)
+}
+
+// jsonEscape escapes a label for embedding in a JSON string literal.
+func jsonEscape(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	return b.String()
+}
+
+type eventWriter struct {
+	buf   bytes.Buffer
+	first bool
+}
+
+func (w *eventWriter) event(fields string) {
+	if !w.first {
+		w.buf.WriteString(",\n")
+	}
+	w.first = false
+	w.buf.WriteString("{")
+	w.buf.WriteString(fields)
+	w.buf.WriteString("}")
+}
+
+func (w *eventWriter) meta(name, value string, pid, tid int) {
+	w.event(fmt.Sprintf(`"name":"%s","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}`,
+		name, pid, tid, jsonEscape(value)))
+}
+
+// Export renders the tracer's retained flows plus the registry's samples
+// (reg may be nil) as a Chrome trace-event JSON document.
+func Export(t *Tracer, reg *Registry) []byte {
+	var flows []*Flow
+	if t != nil {
+		flows = t.Retained()
+	}
+	w := &eventWriter{first: true}
+	w.meta("process_name", "requests", pidRequests, 0)
+	w.meta("process_name", "server core (receipts)", pidService, 0)
+	if reg != nil && len(reg.gauges) > 0 {
+		w.meta("process_name", "gauges", pidGauges, 0)
+	}
+
+	for _, f := range flows {
+		tid := int(f.Seq) + 1
+		w.meta("thread_name",
+			fmt.Sprintf("req %d %s %s (%d att)", f.Seq, f.Outcome, f.Dur(), f.Attempts),
+			pidRequests, tid)
+		for _, s := range f.Spans() {
+			w.event(fmt.Sprintf(`"name":"%s","cat":"phase","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d`,
+				jsonEscape(s.Label), usec(s.Start), usec(s.Dur()), pidRequests, tid))
+		}
+		for _, n := range f.Notes {
+			// Notes have no duration; pin each at the flow start as an
+			// instant event so annotations survive in the viewer.
+			w.event(fmt.Sprintf(`"name":"%s","cat":"note","ph":"i","ts":%s,"pid":%d,"tid":%d,"s":"t"`,
+				jsonEscape(n), usec(f.Start), pidRequests, tid))
+		}
+		if len(f.Service) > 0 {
+			w.meta("thread_name", fmt.Sprintf("req %d cycles", f.Seq), pidService, tid)
+			for _, s := range f.Service {
+				w.event(fmt.Sprintf(`"name":"%s","cat":"receipt","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{"cycles":%.1f}`,
+					s.Cat, usec(s.Start), usec(s.End-s.Start), pidService, tid, s.Cycles))
+			}
+		}
+	}
+
+	if reg != nil {
+		for gi, g := range reg.gauges {
+			for _, s := range reg.samples {
+				w.event(fmt.Sprintf(`"name":"%s","ph":"C","ts":%s,"pid":%d,"tid":0,"args":{"value":%s}`,
+					jsonEscape(g.Name), usec(s.At), pidGauges, formatGauge(s.Values[gi])))
+			}
+		}
+	}
+
+	var out bytes.Buffer
+	out.WriteString("{\"displayTimeUnit\":\"ns\",\n\"traceEvents\":[\n")
+	out.Write(w.buf.Bytes())
+	out.WriteString("\n]}\n")
+	return out.Bytes()
+}
+
+// formatGauge renders a gauge value compactly and deterministically:
+// integral values print without a fraction, others with fixed precision.
+func formatGauge(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6f", v)
+}

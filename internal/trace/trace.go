@@ -1,0 +1,461 @@
+// Package trace records per-request span timelines on the virtual clock.
+//
+// The Cornflakes argument is made with cycle breakdowns (§2, Fig 9–11):
+// knowing where each microsecond goes is the product. The run-aggregated
+// costmodel.Receipt can say how the average request spent its cycles, but a
+// p99 outlier is unexplainable from aggregates — was it queueing,
+// retransmission, copy fallback, or a shed-and-retry ladder? In a simulator
+// every event already happens at an exact virtual instant, so exact
+// per-request timelines are nearly free; this package collects them.
+//
+// The model is a mark chain: instrumented layers append (timestamp, label)
+// marks to a flow as the request passes through them, where each label names
+// the phase that *begins* at that instant. At EndFlow the marks are sorted
+// and tiled into spans — consecutive marks bound each span — so a flow's
+// span timeline is gapless by construction and sums exactly to its
+// end-to-end latency. CPU work is attached separately: the server's
+// per-request costmodel.Receipt becomes a sequence of per-category service
+// spans laid out from the dispatch instant, a parallel track that explains
+// what the core did while the wire-level timeline shows where the request
+// waited.
+//
+// Sampling keeps a run's memory bounded without losing the tail: every Nth
+// measured request is retained, and a min-heap keeps the K slowest measured
+// requests regardless of sampling — tail outliers are always captured.
+// Receipts are aggregated across *all* observed requests (retained or not),
+// so the tracer's aggregate reproduces the run-level Fig 11 breakdown
+// exactly.
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"cornflakes/internal/costmodel"
+	"cornflakes/internal/sim"
+)
+
+// Phase labels used by the instrumented layers. Each label names the phase
+// beginning at its mark's instant.
+const (
+	// PhaseSend begins when the client posts the request to its stack; it
+	// covers client-side TX descriptor and DMA time.
+	PhaseSend = "client.send"
+	// PhaseReqWire begins at request DMA completion; it covers wire
+	// serialization of the request frame.
+	PhaseReqWire = "net.req.wire"
+	// PhaseReqProp begins when the request frame has left the wire; it
+	// covers propagation (wire + switch) to the server.
+	PhaseReqProp = "net.req.prop"
+	// PhaseQueue begins at server frame delivery; it covers the core queue
+	// wait until dispatch.
+	PhaseQueue = "srv.queue"
+	// PhaseHandle begins at core dispatch. The simulated server posts its
+	// reply at the dispatch instant (service time manifests as queueing for
+	// later requests), so this phase covers the response's DMA gather.
+	PhaseHandle = "srv.handle"
+	// PhaseShed begins when admission control rejects the request at
+	// delivery time; it covers the prebuilt shed reply's DMA gather.
+	PhaseShed = "srv.shed"
+	// PhaseRspWire begins at response DMA completion; wire serialization.
+	PhaseRspWire = "net.rsp.wire"
+	// PhaseRspProp begins when the response frame has left the wire;
+	// propagation back to the client, ending at flow completion.
+	PhaseRspProp = "net.rsp.prop"
+	// PhaseBackoff begins when an attempt's deadline expires with retries
+	// remaining; it covers the backoff until the next attempt's PhaseSend.
+	PhaseBackoff = "client.backoff"
+)
+
+// Outcome classifies how a flow ended, mirroring the loadgen's exact
+// disposal accounting.
+type Outcome int
+
+const (
+	OutcomeCompleted Outcome = iota
+	OutcomeShed
+	OutcomeTimedOut
+	OutcomeAbandoned
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeTimedOut:
+		return "timed-out"
+	default:
+		return "abandoned"
+	}
+}
+
+// Mark is one timestamped phase boundary.
+type Mark struct {
+	At    sim.Time
+	Label string
+}
+
+// Span is one tiled phase interval.
+type Span struct {
+	Label      string
+	Start, End sim.Time
+}
+
+// Dur returns the span length.
+func (s Span) Dur() sim.Time { return s.End - s.Start }
+
+// ServiceSpan is one category's share of a request's metered CPU work, laid
+// out sequentially from the dispatch instant. These live on a separate
+// track from the wire-level spans: the simulated server posts its reply at
+// dispatch, so CPU time is not on the request's own critical path.
+type ServiceSpan struct {
+	Cat        costmodel.Category
+	Start, End sim.Time
+	Cycles     float64
+}
+
+// Flow is one traced request (one loadgen flow, possibly spanning several
+// attempts and steps).
+type Flow struct {
+	// Seq is the tracer-assigned flow number, in BeginFlow order.
+	Seq uint64
+	// Start and End bound the flow on the virtual clock.
+	Start, End sim.Time
+	Measured   bool
+	Outcome    Outcome
+	// Attempts counts sends, including retransmissions of the flow.
+	Attempts int
+	// Notes are free-form annotations (retransmits, fallbacks, drops).
+	Notes []string
+	// Service holds the per-category CPU spans from the server's receipt.
+	Service []ServiceSpan
+	// Receipt sums the server receipts attributed to this flow.
+	Receipt costmodel.Receipt
+
+	marks   []Mark
+	wireIDs []uint64 // attempt ids registered for this flow, for cleanup
+	ended   bool
+}
+
+// Dur returns the flow's end-to-end latency (0 until EndFlow).
+func (f *Flow) Dur() sim.Time {
+	if !f.ended {
+		return 0
+	}
+	return f.End - f.Start
+}
+
+// Spans tiles the flow's marks into a gapless timeline covering exactly
+// [Start, End]. Only meaningful after EndFlow.
+func (f *Flow) Spans() []Span {
+	if len(f.marks) == 0 {
+		return []Span{{Label: "untraced", Start: f.Start, End: f.End}}
+	}
+	spans := make([]Span, 0, len(f.marks)+1)
+	if f.marks[0].At > f.Start {
+		spans = append(spans, Span{Label: "pre", Start: f.Start, End: f.marks[0].At})
+	}
+	for i, mk := range f.marks {
+		end := f.End
+		if i+1 < len(f.marks) {
+			end = f.marks[i+1].At
+		}
+		spans = append(spans, Span{Label: mk.Label, Start: mk.At, End: end})
+	}
+	return spans
+}
+
+// Config parameterises a Tracer.
+type Config struct {
+	// SampleEvery retains every Nth measured flow (1 retains all; 0 is
+	// treated as 1).
+	SampleEvery int
+	// SlowestK always retains the K slowest measured flows, regardless of
+	// sampling — the tail outliers a breakdown exists to explain.
+	SlowestK int
+	// CPU converts receipt cycles into virtual time for service spans.
+	CPU costmodel.CPU
+}
+
+// attemptRef maps a wire id to its flow while the attempt is live. A dead
+// attempt (resolved, retried, or timed out) stays mapped but inert, so a
+// late or duplicate response cannot append marks after the fact.
+type attemptRef struct {
+	f    *Flow
+	live bool
+}
+
+// Tracer collects flows. All methods are nil-receiver-safe so call sites in
+// hot paths can stay unconditional.
+type Tracer struct {
+	cfg      Config
+	seq      uint64
+	measured uint64 // measured flows begun, for the sampling counter
+	attempts map[uint64]*attemptRef
+
+	sampled []*Flow
+	slow    slowHeap
+
+	agg      costmodel.Receipt
+	aggCount uint64
+
+	// DroppedMarks counts marks addressed to unknown or dead attempts —
+	// late replies, duplicates, and frames observed after their flow ended.
+	DroppedMarks uint64
+}
+
+// New builds a tracer.
+func New(cfg Config) *Tracer {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 1
+	}
+	return &Tracer{cfg: cfg, attempts: map[uint64]*attemptRef{}}
+}
+
+// BeginFlow starts tracing one request flow.
+func (t *Tracer) BeginFlow(now sim.Time, measured bool) *Flow {
+	if t == nil {
+		return nil
+	}
+	f := &Flow{Seq: t.seq, Start: now, Measured: measured}
+	t.seq++
+	return f
+}
+
+// Attempt registers one send attempt of f under the given wire id and marks
+// the attempt's PhaseSend. Wire ids are the loadgen's request ids — unique
+// within a run, so no two live attempts share one.
+func (t *Tracer) Attempt(f *Flow, wireID uint64, now sim.Time) {
+	if t == nil || f == nil || f.ended {
+		return
+	}
+	f.Attempts++
+	f.wireIDs = append(f.wireIDs, wireID)
+	t.attempts[wireID] = &attemptRef{f: f, live: true}
+	f.marks = append(f.marks, Mark{At: now, Label: PhaseSend})
+}
+
+// Mark appends a phase boundary to the flow owning the live attempt with
+// the given wire id. Marks for unknown or dead attempts are counted and
+// dropped: a late reply must not extend a timeline that already ended.
+func (t *Tracer) Mark(wireID uint64, at sim.Time, label string) {
+	if t == nil {
+		return
+	}
+	ref, ok := t.attempts[wireID]
+	if !ok || !ref.live || ref.f.ended {
+		t.DroppedMarks++
+		return
+	}
+	ref.f.marks = append(ref.f.marks, Mark{At: at, Label: label})
+}
+
+// Note attaches a free-form annotation via a wire id; dead attempts still
+// accept notes (a retransmitted frame's fate is worth recording) as long as
+// the flow has not ended.
+func (t *Tracer) Note(wireID uint64, text string) {
+	if t == nil {
+		return
+	}
+	ref, ok := t.attempts[wireID]
+	if !ok || ref.f.ended {
+		return
+	}
+	ref.f.Notes = append(ref.f.Notes, text)
+}
+
+// NoteFlow attaches an annotation directly to a flow.
+func (t *Tracer) NoteFlow(f *Flow, text string) {
+	if t == nil || f == nil || f.ended {
+		return
+	}
+	f.Notes = append(f.Notes, text)
+}
+
+// AttemptEnd retires a wire id once its response has been consumed: later
+// marks for it (duplicates, shed replies racing a real reply) are dropped.
+func (t *Tracer) AttemptEnd(wireID uint64) {
+	if t == nil {
+		return
+	}
+	if ref, ok := t.attempts[wireID]; ok {
+		ref.live = false
+	}
+}
+
+// Timeout retires a wire id at deadline expiry and, when the flow will
+// retry, marks the backoff phase beginning now.
+func (t *Tracer) Timeout(f *Flow, wireID uint64, now sim.Time, willRetry bool) {
+	if t == nil {
+		return
+	}
+	if ref, ok := t.attempts[wireID]; ok {
+		ref.live = false
+	}
+	if f == nil || f.ended {
+		return
+	}
+	if willRetry {
+		f.marks = append(f.marks, Mark{At: now, Label: PhaseBackoff})
+	}
+}
+
+// ServiceReceipt attributes one server receipt to the flow owning the live
+// attempt with the given wire id, laying the per-category cycles out as
+// service spans from the dispatch instant. The receipt always feeds the
+// run-level aggregate, found flow or not.
+func (t *Tracer) ServiceReceipt(wireID uint64, dispatchAt sim.Time, rec costmodel.Receipt) {
+	if t == nil {
+		return
+	}
+	t.agg.Add(rec)
+	t.aggCount++
+	ref, ok := t.attempts[wireID]
+	if !ok || !ref.live || ref.f.ended {
+		return
+	}
+	f := ref.f
+	f.Receipt.Add(rec)
+	at := dispatchAt
+	for cat := costmodel.Category(0); cat < costmodel.NumCategories; cat++ {
+		cy := rec.Cycles[cat]
+		if cy == 0 {
+			continue
+		}
+		d := t.cfg.CPU.Cycles(cy)
+		f.Service = append(f.Service, ServiceSpan{Cat: cat, Start: at, End: at + d, Cycles: cy})
+		at += d
+	}
+}
+
+// AggregateOnly feeds a receipt into the run-level aggregate without
+// attributing it to any flow (unparseable requests, work between requests).
+func (t *Tracer) AggregateOnly(rec costmodel.Receipt) {
+	if t == nil {
+		return
+	}
+	t.agg.Add(rec)
+	t.aggCount++
+}
+
+// Aggregate returns the summed receipts across every observed request and
+// how many receipts contributed. Because every receipt is fed exactly once,
+// this equals the run-level breakdown a KVServer.OnReceipt accumulator sees.
+func (t *Tracer) Aggregate() (costmodel.Receipt, uint64) {
+	if t == nil {
+		return costmodel.Receipt{}, 0
+	}
+	return t.agg, t.aggCount
+}
+
+// EndFlow finishes a flow: marks are finalized (sorted, clipped to the
+// flow's bounds), retention is decided, and the flow's wire ids are
+// released. Calling it twice is a no-op.
+func (t *Tracer) EndFlow(f *Flow, now sim.Time, outcome Outcome) {
+	if t == nil || f == nil || f.ended {
+		return
+	}
+	f.End = now
+	f.Outcome = outcome
+	f.ended = true
+	// A NIC observer records marks for instants it already knows the frame
+	// will reach (TxDone, DeliverAt); if the flow ended first — a timeout
+	// racing an in-flight response — those marks lie beyond End and would
+	// break the tiling invariant. Clip them.
+	kept := f.marks[:0]
+	for _, mk := range f.marks {
+		if mk.At <= f.End {
+			kept = append(kept, mk)
+		}
+	}
+	f.marks = kept
+	sort.SliceStable(f.marks, func(i, j int) bool { return f.marks[i].At < f.marks[j].At })
+
+	for _, id := range f.wireIDs {
+		delete(t.attempts, id)
+	}
+	f.wireIDs = nil
+
+	if !f.Measured {
+		return
+	}
+	t.measured++
+	if (t.measured-1)%uint64(t.cfg.SampleEvery) == 0 {
+		t.sampled = append(t.sampled, f)
+	}
+	if t.cfg.SlowestK > 0 {
+		if t.slow.Len() < t.cfg.SlowestK {
+			heap.Push(&t.slow, f)
+		} else if slowLess(t.slow[0], f) {
+			t.slow[0] = f
+			heap.Fix(&t.slow, 0)
+		}
+	}
+}
+
+// Retained returns the flows kept by sampling plus the slowest-K set,
+// deduplicated and sorted by Seq.
+func (t *Tracer) Retained() []*Flow {
+	if t == nil {
+		return nil
+	}
+	seen := map[uint64]bool{}
+	out := make([]*Flow, 0, len(t.sampled)+t.slow.Len())
+	for _, f := range t.sampled {
+		if !seen[f.Seq] {
+			seen[f.Seq] = true
+			out = append(out, f)
+		}
+	}
+	for _, f := range t.slow {
+		if !seen[f.Seq] {
+			seen[f.Seq] = true
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Slowest returns the retained slowest-K flows, slowest first.
+func (t *Tracer) Slowest() []*Flow {
+	if t == nil {
+		return nil
+	}
+	out := append([]*Flow(nil), t.slow...)
+	sort.Slice(out, func(i, j int) bool { return slowLess(out[j], out[i]) })
+	return out
+}
+
+// Summary formats a one-line description of a flow.
+func Summary(f *Flow) string {
+	return fmt.Sprintf("req %d: %s in %v over %d attempt(s)", f.Seq, f.Outcome, f.Dur(), f.Attempts)
+}
+
+// slowLess orders flows by duration, ties broken by Seq (higher Seq first,
+// so the heap deterministically keeps the earliest flows among equals).
+func slowLess(a, b *Flow) bool {
+	if a.Dur() != b.Dur() {
+		return a.Dur() < b.Dur()
+	}
+	return a.Seq > b.Seq
+}
+
+// slowHeap is a min-heap of flows by duration: the root is the fastest of
+// the kept slow set, the first to be evicted.
+type slowHeap []*Flow
+
+func (h slowHeap) Len() int            { return len(h) }
+func (h slowHeap) Less(i, j int) bool  { return slowLess(h[i], h[j]) }
+func (h slowHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *slowHeap) Push(x interface{}) { *h = append(*h, x.(*Flow)) }
+func (h *slowHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"cornflakes/internal/costmodel"
+	"cornflakes/internal/sim"
+)
+
+func us(n int64) sim.Time { return sim.Time(n) * sim.Microsecond }
+
+// A flow's span timeline must tile [Start, End] gaplessly: each span begins
+// where the previous ended, and the durations sum to the flow's latency
+// exactly (not just within tolerance — the virtual clock is exact).
+func TestSpansGaplessAndExact(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, SlowestK: 0, CPU: costmodel.DefaultCPU()})
+	f := tr.BeginFlow(us(10), true)
+	tr.Attempt(f, 7, us(10))
+	tr.Mark(7, us(12), PhaseReqWire)
+	tr.Mark(7, us(13), PhaseReqProp)
+	tr.Mark(7, us(15), PhaseQueue)
+	tr.Mark(7, us(20), PhaseHandle)
+	tr.Mark(7, us(22), PhaseRspWire)
+	tr.Mark(7, us(23), PhaseRspProp)
+	tr.AttemptEnd(7)
+	tr.EndFlow(f, us(25), OutcomeCompleted)
+
+	spans := f.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans")
+	}
+	if spans[0].Start != f.Start {
+		t.Errorf("first span starts at %v, want flow start %v", spans[0].Start, f.Start)
+	}
+	if spans[len(spans)-1].End != f.End {
+		t.Errorf("last span ends at %v, want flow end %v", spans[len(spans)-1].End, f.End)
+	}
+	var sum sim.Time
+	for i, s := range spans {
+		sum += s.Dur()
+		if i > 0 && s.Start != spans[i-1].End {
+			t.Errorf("gap: span %d starts at %v, previous ended at %v", i, s.Start, spans[i-1].End)
+		}
+	}
+	if sum != f.Dur() {
+		t.Errorf("span durations sum to %v, want exactly the flow latency %v", sum, f.Dur())
+	}
+}
+
+// Marks addressed to a retired attempt (late reply, duplicate) must not
+// land; marks recorded for instants past the flow's end (an in-flight
+// response racing a timeout) are clipped at EndFlow.
+func TestLateAndPostEndMarksDropped(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	f := tr.BeginFlow(us(0), true)
+	tr.Attempt(f, 1, us(0))
+	tr.Mark(1, us(2), PhaseReqWire)
+	// The NIC observer knows delivery happens at us(30) — after the flow
+	// will have timed out.
+	tr.Mark(1, us(30), PhaseQueue)
+	tr.Timeout(f, 1, us(10), false)
+	tr.EndFlow(f, us(10), OutcomeTimedOut)
+
+	for _, s := range f.Spans() {
+		if s.End > f.End || s.Start < f.Start {
+			t.Errorf("span %+v escapes [%v, %v]", s, f.Start, f.End)
+		}
+	}
+	before := tr.DroppedMarks
+	tr.Mark(1, us(11), PhaseRspProp) // late reply for the dead attempt
+	if tr.DroppedMarks != before+1 {
+		t.Errorf("late mark was not dropped (DroppedMarks %d → %d)", before, tr.DroppedMarks)
+	}
+}
+
+// Sampling keeps every Nth measured flow; the slowest-K heap keeps tail
+// outliers regardless of the sampling phase.
+func TestSamplingRetainsSlowest(t *testing.T) {
+	tr := New(Config{SampleEvery: 10, SlowestK: 3})
+	var slowSeqs []uint64
+	for i := 0; i < 100; i++ {
+		f := tr.BeginFlow(us(int64(i)*100), true)
+		tr.Attempt(f, uint64(i), us(int64(i)*100))
+		// Flows 13, 57, 91 are the outliers; none is a multiple of 10.
+		dur := int64(10)
+		if i == 13 || i == 57 || i == 91 {
+			dur = 500 + int64(i)
+			slowSeqs = append(slowSeqs, f.Seq)
+		}
+		tr.EndFlow(f, us(int64(i)*100+dur), OutcomeCompleted)
+	}
+	retained := map[uint64]bool{}
+	for _, f := range tr.Retained() {
+		retained[f.Seq] = true
+	}
+	for _, seq := range slowSeqs {
+		if !retained[seq] {
+			t.Errorf("slow flow %d missing from the retained set at 1/10 sampling", seq)
+		}
+	}
+	// Every 10th flow is retained by sampling: 0, 10, ..., 90.
+	for i := uint64(0); i < 100; i += 10 {
+		if !retained[i] {
+			t.Errorf("sampled flow %d missing from the retained set", i)
+		}
+	}
+	slow := tr.Slowest()
+	if len(slow) != 3 {
+		t.Fatalf("Slowest() returned %d flows, want 3", len(slow))
+	}
+	if slow[0].Seq != 91 || slow[1].Seq != 57 || slow[2].Seq != 13 {
+		t.Errorf("Slowest() order = %d,%d,%d, want 91,57,13", slow[0].Seq, slow[1].Seq, slow[2].Seq)
+	}
+}
+
+// Every receipt feeds the aggregate exactly once — attributed to a flow or
+// not — so the tracer's aggregate matches an OnReceipt accumulator.
+func TestAggregateCountsEveryReceipt(t *testing.T) {
+	tr := New(Config{SampleEvery: 1000, CPU: costmodel.DefaultCPU()})
+	var want costmodel.Receipt
+	f := tr.BeginFlow(0, true)
+	tr.Attempt(f, 1, 0)
+
+	r1 := costmodel.Receipt{}
+	r1.Cycles[costmodel.CatApp] = 100
+	r1.Cycles[costmodel.CatTx] = 50
+	tr.ServiceReceipt(1, us(5), r1)
+	want.Add(r1)
+
+	r2 := costmodel.Receipt{}
+	r2.Cycles[costmodel.CatShed] = 30
+	tr.AggregateOnly(r2)
+	want.Add(r2)
+
+	r3 := costmodel.Receipt{}
+	r3.Cycles[costmodel.CatRx] = 9
+	tr.ServiceReceipt(999, us(6), r3) // unknown wire id: aggregate only
+	want.Add(r3)
+
+	got, n := tr.Aggregate()
+	if n != 3 {
+		t.Errorf("aggregate count = %d, want 3", n)
+	}
+	if got != want {
+		t.Errorf("aggregate = %+v, want %+v", got, want)
+	}
+	if f.Receipt != r1 {
+		t.Errorf("flow receipt = %+v, want only the attributed %+v", f.Receipt, r1)
+	}
+	// Service spans tile sequentially from the dispatch instant.
+	if len(f.Service) != 2 {
+		t.Fatalf("service spans = %d, want 2", len(f.Service))
+	}
+	if f.Service[0].Start != us(5) || f.Service[1].Start != f.Service[0].End {
+		t.Errorf("service spans not contiguous from dispatch: %+v", f.Service)
+	}
+}
+
+// The registry's tick chain is bounded: an engine Run() that drains every
+// event terminates, with samples only through the configured horizon.
+func TestRegistryBoundedSampling(t *testing.T) {
+	eng := sim.NewEngine()
+	reg := NewRegistry()
+	v := 0.0
+	reg.Register("v", func() float64 { v++; return v })
+	reg.SampleUntil(eng, us(10), us(100))
+	eng.Run() // must terminate
+	samples := reg.Samples()
+	if len(samples) != 11 { // t = 0, 10, ..., 100
+		t.Fatalf("got %d samples, want 11", len(samples))
+	}
+	if samples[0].At != 0 || samples[10].At != us(100) {
+		t.Errorf("sample horizon [%v, %v], want [0, %v]", samples[0].At, samples[10].At, us(100))
+	}
+}
+
+// Export is deterministic: identical tracer state renders identical bytes.
+func TestExportDeterministic(t *testing.T) {
+	build := func() ([]byte, []byte) {
+		tr := New(Config{SampleEvery: 1, SlowestK: 2, CPU: costmodel.DefaultCPU()})
+		reg := NewRegistry()
+		x := 0.0
+		reg.Register("g", func() float64 { x += 1.5; return x })
+		reg.SampleNow(us(1))
+		reg.SampleNow(us(2))
+		for i := 0; i < 3; i++ {
+			f := tr.BeginFlow(us(int64(i)), true)
+			tr.Attempt(f, uint64(i), us(int64(i)))
+			tr.Mark(uint64(i), us(int64(i))+us(1), PhaseQueue)
+			rec := costmodel.Receipt{}
+			rec.Cycles[costmodel.CatApp] = float64(10 * (i + 1))
+			tr.ServiceReceipt(uint64(i), us(int64(i))+us(1), rec)
+			tr.NoteFlow(f, "note")
+			tr.EndFlow(f, us(int64(i))+us(3), OutcomeCompleted)
+		}
+		return Export(tr, reg), Export(tr, reg)
+	}
+	a1, a2 := build()
+	b1, _ := build()
+	if !bytes.Equal(a1, a2) {
+		t.Error("two exports of the same tracer differ")
+	}
+	if !bytes.Equal(a1, b1) {
+		t.Error("exports of identically-built tracers differ")
+	}
+	if len(a1) == 0 || a1[0] != '{' {
+		t.Errorf("export does not look like a JSON object: %q", a1[:min(len(a1), 40)])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

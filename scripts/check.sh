@@ -11,6 +11,9 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
+echo "== golden trace export (byte-stable Chrome trace JSON)"
+go test ./internal/experiments -run 'TestTraceGoldenExport|TestTraceProperties'
+
 echo "== go test -race ./..."
 go test -race ./...
 
