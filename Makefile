@@ -6,8 +6,10 @@ check:
 	./scripts/check.sh
 
 # Fast gate: vet + build + -short tests. Sweeps are skipped, but the
-# overload experiment still exercises its smallest sweep point so the
-# graceful-degradation contract stays covered on every run.
+# overload experiment still exercises its smallest sweep point and the
+# batching smoke + burst-cap-1 determinism gate run, so the
+# graceful-degradation and batched-datapath contracts stay covered on
+# every run.
 check-fast:
 	go vet ./...
 	go build ./...

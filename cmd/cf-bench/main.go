@@ -6,6 +6,7 @@
 //	cf-bench -exp fig2            # one experiment
 //	cf-bench -exp all             # everything (takes a while)
 //	cf-bench -exp tab1 -quick     # reduced scale
+//	cf-bench -batch               # the batched-datapath sweep (-exp batching)
 //
 // Experiment ids: fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 tab1 tab2 tab3 tab4 tab5.
@@ -24,6 +25,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
+	batch := flag.Bool("batch", false, "shorthand for -exp batching (batched RX/TX datapath sweep)")
 	quick := flag.Bool("quick", false, "reduced scale (faster, noisier)")
 	list := flag.Bool("list", false, "list experiment ids")
 	csvDir := flag.String("csv", "", "also write each report's table to <dir>/<id>.csv")
@@ -48,6 +50,9 @@ func main() {
 		sc = experiments.Quick()
 	}
 	sc.Trace = *traceDir != ""
+	if *batch {
+		*exp = "batching"
+	}
 
 	run := func(id string) bool {
 		fn, ok := all[id]

@@ -68,10 +68,26 @@ type CPU struct {
 	// kernel-bypass poll loop.
 	RxPacketCy float64
 
+	// RxPollCy is the share of RxPacketCy that belongs to the poll-loop
+	// iteration itself — the rx_burst call, ring tail read, and RX
+	// descriptor refill doorbell — rather than to any one packet. The
+	// unbatched datapath pays it per packet (it is folded into RxPacketCy,
+	// whose calibration is unchanged); the batched RX path charges
+	// RxPacketCy−RxPollCy per frame and RxPollCy once per drained burst,
+	// so the share amortizes across the burst. Must stay ≤ RxPacketCy.
+	RxPollCy float64
+
 	// TxDescCy is the fixed transmit cost per packet: base descriptor
 	// formatting and the amortized doorbell write. Each scatter-gather
 	// entry beyond the first adds SGPostCy.
 	TxDescCy float64
+
+	// TxDoorbellCy is the share of TxDescCy that is the doorbell MMIO
+	// write (sfence + posted PCIe write). The unbatched datapath pays it
+	// per packet inside TxDescCy; batched TX charges TxDescCy−TxDoorbellCy
+	// per queued frame and TxDoorbellCy once per flushed chunk. Must stay
+	// ≤ TxDescCy.
+	TxDoorbellCy float64
 
 	// DMABufAllocCy is the cost of taking a pinned transmit buffer from
 	// the allocator free list.
@@ -108,9 +124,15 @@ func DefaultCPU() CPU {
 		CompletionCy:          70,
 		// RxPacketCy + TxDescCy are calibrated so a no-serialization echo
 		// of a 4 KB object costs ≈420 ns of core time — the 77 Gbps
-		// single-core ceiling in Figure 2.
+		// single-core ceiling in Figure 2. The poll/doorbell shares inside
+		// them (amortized by the batched datapath) follow DPDK-style
+		// breakdowns: roughly half of the fixed RX cost is the burst-poll
+		// iteration and ring refill, and a bit over half of the fixed TX
+		// cost is the fenced doorbell write.
 		RxPacketCy:    550,
+		RxPollCy:      250,
 		TxDescCy:      400,
+		TxDoorbellCy:  250,
 		DMABufAllocCy: 15,
 		PktHeaderCy:   15,
 	}

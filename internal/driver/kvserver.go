@@ -54,6 +54,24 @@ type KVServer struct {
 	ShedQueue int
 	ShedWater float64
 
+	// MaxBurst, when ≥ 2, enables the batched RX/TX datapath (EnableBatching
+	// wires it): arriving requests queue in a software RX ring and one core
+	// job drains up to MaxBurst of them, amortizing the per-job dispatch,
+	// the poll-loop share of the RX cost, and — through a bracketed TX batch
+	// flushed at the end of the burst — the reply doorbells. The burst is
+	// adaptive by construction: the drainer serves min(backlog, MaxBurst),
+	// so it collapses to single-request service at low load and only grows
+	// with genuine backlog. At MaxBurst ≤ 1 (or on TCP/segmented servers)
+	// the legacy unbatched path runs, bit-identical to before.
+	MaxBurst int
+
+	// rxq is the batched path's software RX ring: requests waiting for the
+	// drainer, bounded by Core.MaxQueue like the core's own queue.
+	rxq []batchedReq
+	// drainerArmed notes that a drainer job is already submitted, so each
+	// backlog needs only one.
+	drainerArmed bool
+
 	// Stats.
 	Handled, Errors uint64
 	// Shed counts requests rejected by admission control (each one got an
@@ -63,6 +81,22 @@ type KVServer struct {
 	// ShedReplyErrs counts shed replies the stack refused to transmit; the
 	// client's timeout covers this case.
 	ShedReplyErrs uint64
+	// Batch stats: Batches counts drainer runs, BatchedReqs the requests
+	// they served (mean burst = BatchedReqs/Batches), MaxBatch the largest
+	// single burst — the observable for "adaptive sizing engaged".
+	Batches     uint64
+	BatchedReqs uint64
+	MaxBatch    int
+}
+
+// batchedReq is one request parked in the batched datapath's software RX
+// ring, carrying the identity peeked at arrival and the arrival time so the
+// drainer can account its true queue wait.
+type batchedReq struct {
+	p      *mem.Buf
+	tid    uint64
+	traced bool
+	enq    sim.Time
 }
 
 // NewKVServer attaches a KV server to the node's stack: UDP normally, or
@@ -127,8 +161,33 @@ func (s *KVServer) Preload(recs []workloads.KV) {
 // dispatcher, which performs its own RX handling).
 func (s *KVServer) Deliver(p *mem.Buf) { s.onPayload(p) }
 
+// EnableBatching turns on the batched RX/TX datapath with the given burst
+// cap and tells the UDP stack to split its RX charge accordingly. A cap of
+// 1 (or less) selects the legacy unbatched path — that is the adaptive
+// floor, and the determinism gate relies on it being bit-identical.
+func (s *KVServer) EnableBatching(maxBurst int) {
+	s.MaxBurst = maxBurst
+	if s.N.UDP != nil {
+		s.N.UDP.RxBatched = s.batched()
+	}
+}
+
+// batched reports whether the batched datapath is active. TCP and
+// segmented servers always use the legacy path: their replies flow through
+// connection state the TX batch bracket does not cover.
+func (s *KVServer) batched() bool {
+	return s.MaxBurst >= 2 && s.N.TCP == nil && s.Seg == nil
+}
+
+// PendingDepth is the server's total request backlog: the batched path's
+// software RX ring plus the core's own queue. On the unbatched path the
+// ring is always empty, so this equals Core.QueueLen — admission control
+// and the queue-depth gauge use it so both datapaths shed and report on
+// the same signal.
+func (s *KVServer) PendingDepth() int { return len(s.rxq) + s.N.Core.QueueLen() }
+
 func (s *KVServer) onPayload(p *mem.Buf) {
-	if (s.ShedQueue > 0 && s.N.Core.QueueLen() >= s.ShedQueue) ||
+	if (s.ShedQueue > 0 && s.PendingDepth() >= s.ShedQueue) ||
 		(s.ShedWater > 0 && s.N.Alloc.Occupancy() >= s.ShedWater) {
 		s.shed(p)
 		return
@@ -140,6 +199,10 @@ func (s *KVServer) onPayload(p *mem.Buf) {
 	traced := false
 	if s.Trace != nil {
 		tid, traced = s.reqID(p.Bytes())
+	}
+	if s.batched() {
+		s.enqueue(p, tid, traced)
+		return
 	}
 	ok := s.N.Core.Submit(sim.Job{
 		Start: func(enqueuedAt sim.Time) {
@@ -158,6 +221,104 @@ func (s *KVServer) onPayload(p *mem.Buf) {
 		}
 		p.DecRef() // RX ring overflow: drop
 	}
+}
+
+// enqueue parks a request in the software RX ring and makes sure a drainer
+// job is pending. The ring honours the same bound as the core queue
+// (Core.MaxQueue — the RX descriptor ring depth), with overflow counted in
+// the same Dropped stat.
+func (s *KVServer) enqueue(p *mem.Buf, tid uint64, traced bool) {
+	c := s.N.Core
+	if c.MaxQueue > 0 && len(s.rxq) >= c.MaxQueue {
+		c.NoteDrop()
+		if traced {
+			s.Trace.Note(tid, "request dropped: rx ring overflow")
+		}
+		p.DecRef()
+		return
+	}
+	s.rxq = append(s.rxq, batchedReq{p: p, tid: tid, traced: traced, enq: s.N.Eng.Now()})
+	s.armDrainer()
+}
+
+// armDrainer submits one drainer job unless one is already pending. The
+// job carries ExternalWait: the drainer accounts each request's wait
+// itself, because the job-level wait describes the drainer, not the
+// requests it will serve.
+func (s *KVServer) armDrainer() {
+	if s.drainerArmed {
+		return
+	}
+	s.drainerArmed = true
+	if !s.N.Core.Submit(sim.Job{ExternalWait: true, Run: s.drain}) {
+		s.drainerArmed = false // queue bound hit; the backlog re-arms on next arrival
+	}
+}
+
+// drain is one batched core job: it serves min(backlog, MaxBurst) requests
+// back to back, bracketing their replies in a TX batch flushed at the end,
+// and returns the summed service time. Per-request accounting is kept
+// exact: request i's queue wait is its time in the ring plus the service
+// of the i−1 batch members ahead of it (AccountWait), and each request's
+// receipt is taken by handle as usual — the flush's doorbell cycles land
+// in the drain total so the core stays busy for every cycle charged.
+func (s *KVServer) drain() sim.Time {
+	s.drainerArmed = false
+	b := len(s.rxq)
+	if b > s.MaxBurst {
+		b = s.MaxBurst
+	}
+	if b == 0 {
+		return 0
+	}
+	m := s.N.Meter
+	t0 := s.N.Eng.Now()
+	// One poll-loop iteration for the whole burst: the share onFrame
+	// withheld per frame (RxBatched).
+	m.Charge(m.CPU.RxPollCy)
+	flush := b > 1
+	if flush {
+		s.N.UDP.BeginTxBatch()
+	}
+	var total, cum sim.Time
+	for i := 0; i < b; i++ {
+		r := s.rxq[i]
+		s.N.Core.AccountWait(t0 - r.enq + cum)
+		if r.traced {
+			s.Trace.Mark(r.tid, t0, trace.PhaseHandle)
+			if flush {
+				s.Trace.Note(r.tid, fmt.Sprintf("batched: burst=%d pos=%d", b, i))
+			}
+		}
+		s.handle(r.p, r.tid, r.traced)
+		d := m.DrainTime()
+		cum += d
+		total += d
+	}
+	// Shift the served requests out, zeroing the tail so the backing array
+	// does not pin buffers.
+	n := copy(s.rxq, s.rxq[b:])
+	for i := n; i < len(s.rxq); i++ {
+		s.rxq[i] = batchedReq{}
+	}
+	s.rxq = s.rxq[:n]
+	if flush {
+		prev := m.SetCategory(costmodel.CatTx)
+		if err := s.N.UDP.FlushTx(); err != nil {
+			s.Errors++
+		}
+		m.SetCategory(prev)
+		total += m.DrainTime()
+	}
+	s.Batches++
+	s.BatchedReqs += uint64(b)
+	if b > s.MaxBatch {
+		s.MaxBatch = b
+	}
+	if len(s.rxq) > 0 {
+		s.armDrainer()
+	}
+	return total
 }
 
 // reqID peeks the request id out of a framed request payload without a

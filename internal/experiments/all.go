@@ -35,5 +35,8 @@ func All() map[string]func(Scale) *Report {
 		// Observability: the tracing layer's contracts, checked end to end on
 		// a traced overload run (exports a Chrome trace-event artifact).
 		"trace": TraceExp,
+		// Datapath: the batched RX/TX sweep — burst cap × offered load, with
+		// the adaptive-burst and doorbell-amortization contracts checked.
+		"batching": Batching,
 	}
 }

@@ -140,6 +140,12 @@ type Scale struct {
 	// Trace asks experiments that support it to attach a per-request trace
 	// artifact (Chrome trace-event JSON) to the report.
 	Trace bool
+	// Batch, when ≥ 1, enables the server's batched RX/TX datapath with
+	// this burst cap (KVServer.EnableBatching). 1 is the adaptive floor —
+	// batching "on" but serving every request in its own burst, which the
+	// determinism gate pins as bit-identical to the unbatched path. 0
+	// leaves batching off entirely.
+	Batch int
 }
 
 // Full is the default experiment scale.

@@ -48,6 +48,9 @@ func newKVTestbed(o kvOpts) (*driver.Testbed, *driver.KVServer, *driver.KVClient
 		tb.Server.Ctx.Threshold = o.Threshold
 	}
 	srv.UseSGArray = o.UseSGArray
+	if o.Scale.Batch > 0 {
+		srv.EnableBatching(o.Scale.Batch)
+	}
 	srv.Preload(o.Gen.Records())
 	return tb, srv, driver.NewKVClient(tb.Client, o.Sys)
 }

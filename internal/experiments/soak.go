@@ -81,6 +81,15 @@ type SoakResult struct {
 	FCSDrops    uint64
 	DupAcks     uint64
 
+	// Conserved reports the NIC frame-conservation law holding in both
+	// directions after drain: frames posted plus injector-duplicated
+	// copies equal frames delivered intact plus wire drops plus
+	// FCS-discarded arrivals. This pins the post-time/delivered counter
+	// split — a goodput computed from TxFrames would silently count lost
+	// frames; conservation proves the delivered counters account for
+	// every posted frame and every extra copy exactly once.
+	Conserved bool
+
 	// PeakClient/PeakServer are the pinned-slot high-water marks over the
 	// scenario, bounded by CapClient/CapServer (baseline + soakCapHeadroom):
 	// retransmission buffering under faults must stay within a fixed
@@ -89,16 +98,16 @@ type SoakResult struct {
 	CapClient, CapServer   int64
 }
 
-// OK reports whether all four invariants held.
+// OK reports whether all five invariants held.
 func (r SoakResult) OK() bool {
 	return !r.Stalled && r.Mismatches == 0 && r.LeakedClient == 0 && r.LeakedServer == 0 &&
-		r.PeakClient <= r.CapClient && r.PeakServer <= r.CapServer
+		r.PeakClient <= r.CapClient && r.PeakServer <= r.CapServer && r.Conserved
 }
 
 func (r SoakResult) String() string {
-	return fmt.Sprintf("%s seed=%d done=%d/%d mismatch=%d stalled=%v leak=%d/%d rtx=%d drops=%d fcs=%d",
+	return fmt.Sprintf("%s seed=%d done=%d/%d mismatch=%d stalled=%v leak=%d/%d rtx=%d drops=%d fcs=%d conserved=%v",
 		r.Workload, r.Seed, r.Completed, r.Total, r.Mismatches, r.Stalled,
-		r.LeakedClient, r.LeakedServer, r.Retransmits, r.WireDrops, r.FCSDrops)
+		r.LeakedClient, r.LeakedServer, r.Retransmits, r.WireDrops, r.FCSDrops, r.Conserved)
 }
 
 // soakCapHeadroom is the pinned-slot budget each node gets over its
@@ -117,8 +126,10 @@ func soakBound(res *SoakResult, tb *driver.Testbed, clientBase, serverBase int64
 }
 
 // soakFinish drains the scenario and fills in the invariant fields shared
-// by both workloads.
-func soakFinish(res *SoakResult, tb *driver.Testbed, clientBase, serverBase int64) {
+// by both workloads. ab/ba are the injectors faults.Apply installed on the
+// client and server ports, for the frame-conservation accounting.
+func soakFinish(res *SoakResult, tb *driver.Testbed, clientBase, serverBase int64,
+	ab, ba *faults.Injector) {
 	tb.Eng.RunUntil(soakDeadline)
 	res.PeakClient = tb.Client.Alloc.Stats().PeakSlotsInUse
 	res.PeakServer = tb.Server.Alloc.Stats().PeakSlotsInUse
@@ -132,6 +143,12 @@ func soakFinish(res *SoakResult, tb *driver.Testbed, clientBase, serverBase int6
 	res.WireDrops = cp.DroppedFrames + sp.DroppedFrames
 	res.FCSDrops = cp.RxFCSErrors + sp.RxFCSErrors
 	res.DupAcks = tb.Client.TCP.DupAcks + tb.Server.TCP.DupAcks
+	// Frame conservation, per direction: every posted frame and every
+	// injector-duplicated copy ends up exactly one of delivered intact,
+	// dropped on the wire, or discarded by the receiver's FCS check.
+	res.Conserved =
+		cp.TxFrames+ab.Stats.Duplicated == cp.DeliveredFrames+cp.DroppedFrames+sp.RxFCSErrors &&
+			sp.TxFrames+ba.Stats.Duplicated == sp.DeliveredFrames+sp.DroppedFrames+cp.RxFCSErrors
 }
 
 // SoakEcho runs one echo scenario: raw TCP echo of rng-patterned payloads,
@@ -140,7 +157,7 @@ func SoakEcho(seed uint64) SoakResult {
 	res := SoakResult{Workload: "echo", Seed: seed, Total: soakMessages}
 	tb := driver.NewTCPTestbed(nic.MellanoxCX6())
 	driver.NewTCPEchoServer(tb.Server, driver.TCPEchoRaw)
-	faults.Apply(soakPlan(seed), tb.Client.TCP.Port, tb.Server.TCP.Port)
+	ab, ba := faults.Apply(soakPlan(seed), tb.Client.TCP.Port, tb.Server.TCP.Port)
 
 	clientBase := tb.Client.Alloc.Stats().SlotsInUse
 	serverBase := tb.Server.Alloc.Stats().SlotsInUse
@@ -184,7 +201,7 @@ func SoakEcho(seed uint64) SoakResult {
 	for i := 0; i < soakWindow; i++ {
 		sendNext()
 	}
-	soakFinish(&res, tb, clientBase, serverBase)
+	soakFinish(&res, tb, clientBase, serverBase, ab, ba)
 	return res
 }
 
@@ -214,7 +231,7 @@ func SoakKV(seed uint64) SoakResult {
 		vals[i] = v
 	}
 	srv.Preload(recs)
-	faults.Apply(soakPlan(seed), tb.Client.TCP.Port, tb.Server.TCP.Port)
+	ab, ba := faults.Apply(soakPlan(seed), tb.Client.TCP.Port, tb.Server.TCP.Port)
 
 	clientBase := tb.Client.Alloc.Stats().SlotsInUse
 	serverBase := tb.Server.Alloc.Stats().SlotsInUse
@@ -274,7 +291,7 @@ func SoakKV(seed uint64) SoakResult {
 	for i := 0; i < soakWindow; i++ {
 		sendNext()
 	}
-	soakFinish(&res, tb, clientBase, serverBase)
+	soakFinish(&res, tb, clientBase, serverBase, ab, ba)
 	return res
 }
 
@@ -309,6 +326,7 @@ func Soak(Scale) *Report {
 	scenarios := 0
 	var failures []string
 	capViolations := 0
+	unconserved := 0
 	var worstHeadroom int64
 	for seed := uint64(1); seed <= SoakScenarios; seed++ {
 		for _, w := range order {
@@ -321,6 +339,9 @@ func Soak(Scale) *Report {
 			scenarios++
 			if res.PeakClient > res.CapClient || res.PeakServer > res.CapServer {
 				capViolations++
+			}
+			if !res.Conserved {
+				unconserved++
 			}
 			// Headroom actually consumed above the pre-traffic baseline.
 			for _, used := range []int64{
@@ -381,6 +402,8 @@ func Soak(Scale) *Report {
 	r.AddCheck("bounded: peak pinned occupancy stayed within every scenario's cap",
 		capViolations == 0, "%d violations; worst headroom use %d of %d slots",
 		capViolations, worstHeadroom, int64(soakCapHeadroom))
+	r.AddCheck("conservation: posted + duplicated frames == delivered + dropped + FCS-discarded",
+		unconserved == 0, "%d of %d scenarios violated", unconserved, scenarios)
 	// The sweep must actually have hurt: a plan generator bug that yields
 	// clean links would green-light broken retransmission code.
 	r.AddCheck("adversity: wire drops, retransmits, dups and corruption all exercised",

@@ -139,6 +139,15 @@ func (r Result) P99() sim.Time {
 	return r.Latency.Quantile(0.99)
 }
 
+// P50 returns the median latency, with the same zero-when-empty
+// convention as P99.
+func (r Result) P50() sim.Time {
+	if r.Latency == nil || r.Latency.Count() == 0 {
+		return 0
+	}
+	return r.Latency.Quantile(0.50)
+}
+
 // flow tracks one in-progress (possibly multi-step) request.
 type flow struct {
 	req      workloads.Request

@@ -1,0 +1,173 @@
+package netstack
+
+import (
+	"testing"
+
+	"cornflakes/internal/mem"
+	"cornflakes/internal/nic"
+)
+
+// TestTxBatchFlushPostsAll: frames posted inside a Begin/Flush bracket are
+// delivered together under amortized doorbells, with TxPackets counted at
+// flush.
+func TestTxBatchFlushPostsAll(t *testing.T) {
+	eng, ua, ub, _, _ := udpPair(nic.MellanoxCX6())
+	var got []string
+	ub.SetRecvHandler(func(p *mem.Buf) { got = append(got, string(p.Bytes())); p.DecRef() })
+
+	ua.BeginTxBatch()
+	for _, s := range []string{"one", "two", "three"} {
+		if err := ua.SendContiguous([]byte(s), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ua.TxPackets != 0 {
+		t.Errorf("TxPackets = %d before flush, want 0 (counted at flush)", ua.TxPackets)
+	}
+	if err := ua.FlushTx(); err != nil {
+		t.Fatal(err)
+	}
+	if ua.TxPackets != 3 {
+		t.Errorf("TxPackets = %d after flush, want 3", ua.TxPackets)
+	}
+	if ua.Port.TxDoorbells != 1 {
+		t.Errorf("TxDoorbells = %d, want 1 for a 3-frame burst", ua.Port.TxDoorbells)
+	}
+	eng.Run()
+	if len(got) != 3 || got[0] != "one" || got[1] != "two" || got[2] != "three" {
+		t.Errorf("delivered %q, want the three frames in order", got)
+	}
+}
+
+// TestTxBatchFlushEmpty: flushing with nothing queued is a no-op.
+func TestTxBatchFlushEmpty(t *testing.T) {
+	_, ua, _, _, _ := udpPair(nic.MellanoxCX6())
+	ua.BeginTxBatch()
+	if err := ua.FlushTx(); err != nil {
+		t.Fatalf("empty flush: %v", err)
+	}
+	if ua.Port.TxDoorbells != 0 || ua.TxPackets != 0 {
+		t.Errorf("empty flush did work: doorbells=%d packets=%d", ua.Port.TxDoorbells, ua.TxPackets)
+	}
+}
+
+// TestTxBatchOversizeFailsAtQueueTime: a frame violating limits inside a
+// batch fails its own post() — releases run immediately, the rest of the
+// batch is unaffected.
+func TestTxBatchOversizeFailsAtQueueTime(t *testing.T) {
+	eng, ua, ub, na, _ := udpPair(nic.MellanoxCX6())
+	delivered := 0
+	ub.SetRecvHandler(func(p *mem.Buf) { delivered++; p.DecRef() })
+
+	ua.BeginTxBatch()
+	if err := ua.SendContiguous(make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ua.SendContiguous(make([]byte, MaxPayload+1), 0); err == nil {
+		t.Error("oversize frame accepted into batch")
+	}
+	if err := ua.FlushTx(); err != nil {
+		t.Fatalf("flush after rejected frame: %v", err)
+	}
+	eng.Run()
+	if delivered != 1 {
+		t.Errorf("delivered %d frames, want 1 (good frame only)", delivered)
+	}
+	if st := na.alloc.Stats(); st.SlotsInUse != 0 {
+		t.Errorf("slots in use = %d; rejected frame leaked a buffer", st.SlotsInUse)
+	}
+}
+
+// TestTxBatchEntryLimitFailsAtQueueTime: a frame exceeding MaxSGEntries is
+// rejected when queued, not at flush — SendBatch never sees it.
+func TestTxBatchEntryLimitFailsAtQueueTime(t *testing.T) {
+	eng, ua, ub, na, _ := udpPair(nic.IntelE810()) // 8-entry limit
+	delivered := 0
+	ub.SetRecvHandler(func(p *mem.Buf) { delivered++; p.DecRef() })
+
+	var bufs []*mem.Buf
+	for i := 0; i < 9; i++ { // 9 pinned entries + header = 10 > 8
+		bufs = append(bufs, na.alloc.Alloc(64))
+	}
+	ua.BeginTxBatch()
+	err := ua.SendPinned(bufs, true)
+	if _, ok := err.(*nic.ErrTooManyEntries); !ok {
+		t.Errorf("error %T %v, want *ErrTooManyEntries at queue time", err, err)
+	}
+	if err := ua.FlushTx(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	for _, b := range bufs {
+		b.DecRef() // drop the caller's own references
+	}
+	eng.Run()
+	if delivered != 0 {
+		t.Errorf("delivered %d frames, want 0", delivered)
+	}
+	if st := na.alloc.Stats(); st.SlotsInUse != 0 {
+		t.Errorf("slots in use = %d; DMA references leaked", st.SlotsInUse)
+	}
+}
+
+// TestTxBatchFlushErrUnwinds: a ring-full error partway through a flush
+// posts the earlier frames, unwinds the rest, and counts them.
+func TestTxBatchFlushErrUnwinds(t *testing.T) {
+	eng, ua, ub, na, _ := udpPair(nic.MellanoxCX6())
+	delivered := 0
+	ub.SetRecvHandler(func(p *mem.Buf) { delivered++; p.DecRef() })
+
+	calls := 0
+	ua.Port.InjectSendErr = func() error {
+		calls++
+		if calls == 3 { // refuse the third frame of the flush
+			return mem.ErrNoMem
+		}
+		return nil
+	}
+	ua.BeginTxBatch()
+	for i := 0; i < 4; i++ {
+		if err := ua.SendContiguous(make([]byte, 100), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ua.FlushTx(); err == nil {
+		t.Fatal("flush succeeded despite refused send")
+	}
+	if ua.TxPackets != 2 {
+		t.Errorf("TxPackets = %d, want 2 (posted before the failure)", ua.TxPackets)
+	}
+	if ua.TxFlushErrs != 2 {
+		t.Errorf("TxFlushErrs = %d, want 2 (failing frame + trailing frame)", ua.TxFlushErrs)
+	}
+	eng.Run()
+	if delivered != 2 {
+		t.Errorf("delivered %d frames, want 2", delivered)
+	}
+	if st := na.alloc.Stats(); st.SlotsInUse != 0 {
+		t.Errorf("slots in use = %d; unwound frames leaked buffers", st.SlotsInUse)
+	}
+}
+
+// TestRxBatchedChargeSplit: with RxBatched set, onFrame charges only the
+// per-frame remainder of RxPacketCy; the poll share is the drainer's to
+// pay. The two paths must sum to the same total so calibration is
+// preserved.
+func TestRxBatchedChargeSplit(t *testing.T) {
+	run := func(batched bool) float64 {
+		eng, ua, ub, _, nb := udpPair(nic.MellanoxCX6())
+		ub.RxBatched = batched
+		ub.SetRecvHandler(func(p *mem.Buf) { p.DecRef() })
+		if err := ua.SendContiguous([]byte("x"), 0); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		nb.meter.SetCategory(0)
+		return nb.meter.Drain()
+	}
+	cpu := newNode().meter.CPU
+	unb := run(false)
+	bat := run(true)
+	if got := unb - bat; got != cpu.RxPollCy {
+		t.Errorf("batched RX charges %v fewer cycles, want exactly RxPollCy=%v", got, cpu.RxPollCy)
+	}
+}

@@ -59,6 +59,20 @@ type UDP struct {
 	// the request a drop silenced; the payload must not be retained.
 	OnDrop func(payload []byte, reason string)
 
+	// RxBatched marks that the server above drains requests in bursts: the
+	// poll-loop share of the per-packet RX cost (RxPollCy) is then charged
+	// once per drained burst by the drainer, so onFrame charges only the
+	// per-frame remainder. Leave false for the unbatched datapath, which
+	// keeps the full legacy RxPacketCy per frame.
+	RxBatched bool
+
+	// txOpen/txBatch implement TX batching: between BeginTxBatch and
+	// FlushTx, post() queues gather lists here instead of handing each to
+	// the NIC, and FlushTx posts them all through Port.SendBatch under
+	// amortized doorbells.
+	txOpen  bool
+	txBatch [][]nic.SGEntry
+
 	// Stats.
 	TxPackets, RxPackets uint64
 	TxZCEntries          uint64
@@ -66,6 +80,9 @@ type UDP struct {
 	// supply a transmit buffer; RxNoMem counts received frames dropped for
 	// want of an RX buffer (the NIC would have overrun its posted ring).
 	TxNoMem, RxNoMem uint64
+	// TxFlushErrs counts frames unwound because a batched flush failed
+	// partway (each unposted frame of the failing flush counts once).
+	TxFlushErrs uint64
 }
 
 // NewUDP attaches a UDP endpoint to a NIC port.
@@ -84,7 +101,13 @@ func (u *UDP) SetRecvHandler(fn func(payload *mem.Buf)) { u.recv = fn }
 // cost and strips the packet header.
 func (u *UDP) onFrame(f *nic.Frame) {
 	u.RxPackets++
-	u.Meter.Charge(u.Meter.CPU.RxPacketCy)
+	cy := u.Meter.CPU.RxPacketCy
+	if u.RxBatched {
+		// The poll-loop share is paid once per drained burst (see
+		// RxBatched); only the per-frame remainder lands here.
+		cy -= u.Meter.CPU.RxPollCy
+	}
+	u.Meter.Charge(cy)
 	if len(f.Data) <= PacketHeaderLen {
 		if u.OnDrop != nil {
 			u.OnDrop(f.Data, "runt")
@@ -135,9 +158,19 @@ func (u *UDP) txPrep(n int) (*mem.Buf, error) {
 // post hands the gather list to the NIC, charging the base descriptor cost
 // plus one SGPost per entry beyond the first. On failure every entry's
 // Release hook runs immediately so buffer references are not leaked.
+//
+// Inside a TX batch (BeginTxBatch…FlushTx) the gather list is queued
+// instead of posted: the doorbell share of the descriptor cost is deferred
+// to the flush (where it amortizes per chunk), size/entry-limit violations
+// are still detected — and unwound — here at queue time, and
+// TxPackets/TxZCEntries are counted at flush for frames actually posted.
 func (u *UDP) post(entries []nic.SGEntry) error {
 	m := u.Meter
-	m.Charge(m.CPU.TxDescCy)
+	if u.txOpen {
+		m.Charge(m.CPU.TxDescCy - m.CPU.TxDoorbellCy)
+	} else {
+		m.Charge(m.CPU.TxDescCy)
+	}
 	for i := 1; i < len(entries); i++ {
 		m.SGPost()
 	}
@@ -146,9 +179,17 @@ func (u *UDP) post(entries []nic.SGEntry) error {
 		total += len(e.Data)
 	}
 	err := error(nil)
-	if total > JumboFrame {
+	switch {
+	case total > JumboFrame:
 		err = &ErrTooLarge{Size: total}
-	} else {
+	case u.txOpen && len(entries) > u.Port.Profile().MaxSGEntries:
+		// Validate at queue time what Port.Send would reject, so a bad
+		// frame fails its own post instead of poisoning the whole flush.
+		err = &nic.ErrTooManyEntries{Entries: len(entries), Max: u.Port.Profile().MaxSGEntries}
+	case u.txOpen:
+		u.txBatch = append(u.txBatch, entries)
+		return nil
+	default:
 		err = u.Port.Send(entries)
 	}
 	if err != nil {
@@ -166,6 +207,52 @@ func (u *UDP) post(entries []nic.SGEntry) error {
 	}
 	u.TxPackets++
 	u.TxZCEntries += uint64(len(entries) - 1)
+	return nil
+}
+
+// BeginTxBatch opens a TX batch: subsequent post()s queue their gather
+// lists until FlushTx. The server's batch drainer brackets each drained
+// burst with Begin/Flush so all replies of the burst share doorbells.
+func (u *UDP) BeginTxBatch() { u.txOpen = true }
+
+// FlushTx closes the TX batch and posts the queued frames through
+// Port.SendBatch, charging one TxDoorbellCy per MaxTxBurst chunk — the
+// deferred doorbell share of the descriptor costs post() withheld. On a
+// mid-batch send failure the remaining frames are unwound (references
+// released under CatTx, counted in TxFlushErrs) and the error returned;
+// frames already posted stay posted.
+func (u *UDP) FlushTx() error {
+	u.txOpen = false
+	if len(u.txBatch) == 0 {
+		return nil
+	}
+	m := u.Meter
+	frames := u.txBatch
+	u.txBatch = u.txBatch[:0]
+	burst := u.Port.Profile().MaxTxBurst
+	if burst < 1 {
+		burst = 1
+	}
+	chunks := (len(frames) + burst - 1) / burst
+	m.Charge(float64(chunks) * m.CPU.TxDoorbellCy)
+	posted, err := u.Port.SendBatch(frames)
+	for i := 0; i < posted; i++ {
+		u.TxPackets++
+		u.TxZCEntries += uint64(len(frames[i]) - 1)
+	}
+	if err != nil {
+		prev := m.SetCategory(costmodel.CatTx)
+		for _, f := range frames[posted:] {
+			u.TxFlushErrs++
+			for _, e := range f {
+				if e.Release != nil {
+					e.Release()
+				}
+			}
+		}
+		m.SetCategory(prev)
+		return err
+	}
 	return nil
 }
 

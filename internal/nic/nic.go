@@ -50,6 +50,18 @@ type Profile struct {
 	EntryOccupancyNs  float64
 	// DMAGbps is the DMA engine's effective read bandwidth.
 	DMAGbps float64
+	// MaxTxBurst is the largest number of frames the driver may post under
+	// a single doorbell ring (the hardware TX queue's burst limit). SendBatch
+	// splits larger bursts into chunks of this size, each paying one
+	// doorbell. Zero or one means the NIC takes no amortization: every
+	// frame pays the full per-doorbell cost, as in Send.
+	MaxTxBurst int
+	// DoorbellNs is the DMA engine's per-doorbell occupancy — the fixed
+	// cost of fetching a fresh batch of descriptors after a tail-pointer
+	// write. Zero means PacketOccupancyNs (the default profiles fold the
+	// doorbell into the per-packet cost, which is exactly what batching
+	// amortizes: only the first frame of a burst pays it).
+	DoorbellNs float64
 }
 
 // MellanoxCX5Ex models the CloudLab c6525-100g NIC used for the §5
@@ -64,6 +76,7 @@ func MellanoxCX5Ex() Profile {
 		PacketOccupancyNs: 8,
 		EntryOccupancyNs:  2,
 		DMAGbps:           200,
+		MaxTxBurst:        32,
 	}
 }
 
@@ -79,6 +92,7 @@ func MellanoxCX6() Profile {
 		PacketOccupancyNs: 7,
 		EntryOccupancyNs:  2,
 		DMAGbps:           220,
+		MaxTxBurst:        32,
 	}
 }
 
@@ -94,6 +108,7 @@ func IntelE810() Profile {
 		PacketOccupancyNs: 10,
 		EntryOccupancyNs:  3,
 		DMAGbps:           200,
+		MaxTxBurst:        8,
 	}
 }
 
@@ -219,10 +234,26 @@ type Port struct {
 	// corruption detected by the receiving NIC).
 	RxFCSErrors uint64
 
-	// Stats.
+	// Stats. TxFrames/TxBytes count frames *posted* (accepted by the
+	// hardware), whether or not they survive the wire; use
+	// DeliveredFrames/DeliveredBytes for "reached the peer intact".
 	TxFrames, RxFrames uint64
 	TxBytes, RxBytes   uint64
 	TxSGEntries        uint64
+
+	// DeliveredFrames/DeliveredBytes count frames that arrived at the peer
+	// intact — after InjectLoss, Interceptor drops, and FCS checks — from
+	// the sender's perspective. Duplicated copies each count once (they are
+	// distinct arrivals). Goodput-style accounting must use these, not
+	// TxFrames/TxBytes, which are charged at post time before any wire
+	// fault can intervene.
+	DeliveredFrames uint64
+	DeliveredBytes  uint64
+
+	// TxDoorbells counts doorbell rings: one per Send, one per MaxTxBurst
+	// chunk in SendBatch. The amortization the batched datapath buys is
+	// visible as TxDoorbells < TxFrames.
+	TxDoorbells uint64
 }
 
 // Link connects two new ports with the given profiles and one-way
@@ -251,6 +282,16 @@ func (e *ErrTooManyEntries) Error() string {
 	return fmt.Sprintf("nic: %d scatter-gather entries exceeds hardware limit %d", e.Entries, e.Max)
 }
 
+// doorbellNs returns the per-doorbell DMA occupancy: the explicit
+// DoorbellNs knob if set, else PacketOccupancyNs (the default profiles fold
+// the doorbell cost into the per-packet cost).
+func (p *Port) doorbellNs() float64 {
+	if p.prof.DoorbellNs > 0 {
+		return p.prof.DoorbellNs
+	}
+	return p.prof.PacketOccupancyNs
+}
+
 // Send posts a frame described by a gather list. The NIC asynchronously:
 //  1. gathers the entries over PCIe (DMA engine is a FIFO resource),
 //  2. fires each entry's Release when its data has been read,
@@ -261,6 +302,42 @@ func (e *ErrTooManyEntries) Error() string {
 // hardware: mutating a buffer before DMA finishes is a race the paper's
 // safety model explicitly does not protect against.
 func (p *Port) Send(entries []SGEntry) error {
+	p.TxDoorbells++
+	return p.send(entries, p.doorbellNs())
+}
+
+// SendBatch posts a burst of frames under amortized doorbells: frames are
+// chunked by the profile's MaxTxBurst, and only the first frame of each
+// chunk pays the per-doorbell DMA occupancy — the rest issue back-to-back.
+// Frames are posted in order; on error it returns how many frames were
+// posted before the failing one (the failing frame and everything after it
+// are untouched — no buffer references taken, no releases pending). An
+// empty batch is a no-op.
+func (p *Port) SendBatch(frames [][]SGEntry) (int, error) {
+	if len(frames) == 0 {
+		return 0, nil
+	}
+	burst := p.prof.MaxTxBurst
+	if burst < 1 {
+		burst = 1
+	}
+	for i, f := range frames {
+		db := 0.0
+		if i%burst == 0 {
+			p.TxDoorbells++
+			db = p.doorbellNs()
+		}
+		if err := p.send(f, db); err != nil {
+			return i, err
+		}
+	}
+	return len(frames), nil
+}
+
+// send posts one frame charging doorbellNs of per-doorbell DMA occupancy
+// (the full cost for unbatched sends and chunk leaders, zero for the
+// follower frames of a batch).
+func (p *Port) send(entries []SGEntry, doorbellNs float64) error {
 	if len(entries) == 0 {
 		return fmt.Errorf("nic: empty gather list")
 	}
@@ -285,7 +362,7 @@ func (p *Port) Send(entries []SGEntry) error {
 	// DMA engine occupancy (pipeline issue rate) vs assembly latency: the
 	// engine frees up after the occupancy, while the frame finishes
 	// assembling after the additional pipelined latency.
-	occupancy := sim.FromNanos(p.prof.PacketOccupancyNs +
+	occupancy := sim.FromNanos(doorbellNs +
 		p.prof.EntryOccupancyNs*float64(len(entries)) +
 		float64(total)*8/p.prof.DMAGbps)
 	latency := sim.FromNanos(p.prof.PerPacketNs +
@@ -331,6 +408,8 @@ func (p *Port) Send(entries []SGEntry) error {
 		}
 		peer := p.peer
 		arrive := func(frame []byte) {
+			p.DeliveredFrames++
+			p.DeliveredBytes += uint64(len(frame))
 			peer.RxFrames++
 			peer.RxBytes += uint64(len(frame))
 			if peer.handler != nil {
@@ -352,13 +431,25 @@ func (p *Port) Send(entries []SGEntry) error {
 			p.DroppedFrames++
 			return
 		}
-		for _, d := range ds {
+		for di, d := range ds {
 			extra := d.Delay
 			if extra < 0 {
 				extra = 0
 			}
+			depart := txDone
+			if di > 0 {
+				// A duplicated copy is a real extra frame: it serializes
+				// on the wire after whatever the port has already queued,
+				// consuming link bandwidth like any other transmission.
+				// (Before this, extra copies departed at txDone without
+				// touching txFree — duplicates cost zero bandwidth and
+				// soak runs understated congestion.)
+				start := max(p.txFree, txDone)
+				p.txFree = start + wireTime
+				depart = p.txFree
+			}
 			frame := d.Data
-			p.eng.At(txDone+p.propag+extra, func() {
+			p.eng.At(depart+p.propag+extra, func() {
 				if frameFCS(frame) != fcs {
 					peer.RxFCSErrors++
 					return

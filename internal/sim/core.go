@@ -10,6 +10,13 @@ type Job struct {
 	Run   func() Time
 	Done  func()
 	Start func(enqueuedAt Time)
+	// ExternalWait marks a job whose submitter accounts queue waits itself
+	// through AccountWait — a batch drainer serving several requests per
+	// dispatch, where the job-level wait (pickup − submission of the
+	// drainer) describes none of the requests inside the batch. Dispatch
+	// skips the built-in QueueWait/MaxQueueWait accounting for such jobs so
+	// per-request waits are recorded exactly once.
+	ExternalWait bool
 }
 
 // queuedJob pairs a job with its submission time so queue wait can be
@@ -76,6 +83,24 @@ func (c *Core) Submit(j Job) bool {
 // service).
 func (c *Core) QueueLen() int { return len(c.q) }
 
+// AccountWait records the queue wait of one request served inside a batch
+// job (submitted with ExternalWait): the time from the request's arrival to
+// the batch dispatch, plus the service of the batch members ahead of it.
+// Without this, waits for requests 2..B of a B-request batch would be
+// invisible in QueueWait/MaxQueueWait and the stats would understate
+// queueing exactly when batching creates it.
+func (c *Core) AccountWait(w Time) {
+	c.QueueWait += w
+	if w > c.MaxQueueWait {
+		c.MaxQueueWait = w
+	}
+}
+
+// NoteDrop counts a request dropped by a queue bound enforced outside the
+// core (the batched path's RX ring), so Dropped stays the single drop
+// counter whichever datapath is active.
+func (c *Core) NoteDrop() { c.Dropped++ }
+
 // Busy reports whether a job is currently in service.
 func (c *Core) Busy() bool { return c.busy }
 
@@ -116,10 +141,12 @@ func (c *Core) dispatch() {
 	c.q[len(c.q)-1] = queuedJob{}
 	c.q = c.q[:len(c.q)-1]
 
-	wait := c.eng.Now() - qj.enq
-	c.QueueWait += wait
-	if wait > c.MaxQueueWait {
-		c.MaxQueueWait = wait
+	if !qj.job.ExternalWait {
+		wait := c.eng.Now() - qj.enq
+		c.QueueWait += wait
+		if wait > c.MaxQueueWait {
+			c.MaxQueueWait = wait
+		}
 	}
 	if qj.job.Start != nil {
 		qj.job.Start(qj.enq)

@@ -80,3 +80,52 @@ func TestQueueWaitObservable(t *testing.T) {
 		t.Errorf("MaxQueueWait = %v, want 180", c.MaxQueueWait)
 	}
 }
+
+// ExternalWait jobs are excluded from the built-in wait accounting: the
+// submitter records per-request waits itself through AccountWait, and the
+// combination must never double-count.
+func TestExternalWaitAccounting(t *testing.T) {
+	e := NewEngine()
+	c := NewCore(e)
+	// An ordinary job occupies the core so the drainer-style job queues.
+	e.At(0, func() { c.Submit(Job{Run: func() Time { return 100 }}) })
+	e.At(10, func() {
+		c.Submit(Job{ExternalWait: true, Run: func() Time {
+			// Dispatch at t=100; the submitter accounts two batch members.
+			c.AccountWait(90)  // first member waited submission→dispatch
+			c.AccountWait(140) // second waited that plus the first's service
+			return 50
+		}})
+	})
+	e.Run()
+	// Only the explicit AccountWait calls may land in the stats: the
+	// ordinary job waited 0, the drainer's own 90 ns job-level wait is
+	// skipped (it describes no request).
+	if c.QueueWait != 90+140 {
+		t.Errorf("QueueWait = %v, want 230 (AccountWait only)", c.QueueWait)
+	}
+	if c.MaxQueueWait != 140 {
+		t.Errorf("MaxQueueWait = %v, want 140", c.MaxQueueWait)
+	}
+	if c.JobsDone != 2 {
+		t.Errorf("JobsDone = %v, want 2", c.JobsDone)
+	}
+}
+
+// NoteDrop counts ring-bound drops enforced outside the core in the same
+// Dropped counter Submit uses.
+func TestNoteDrop(t *testing.T) {
+	e := NewEngine()
+	c := NewCore(e)
+	c.MaxQueue = 1
+	c.Submit(Job{Run: func() Time { return 100 }}) // in service
+	c.Submit(Job{Run: func() Time { return 100 }}) // queued
+	if ok := c.Submit(Job{Run: func() Time { return 100 }}); ok {
+		t.Fatal("queue bound not enforced")
+	}
+	c.NoteDrop() // an external RX-ring drop
+	if c.Dropped != 2 {
+		t.Errorf("Dropped = %v, want 2 (one Submit rejection + one NoteDrop)", c.Dropped)
+	}
+	e.Run()
+}

@@ -14,6 +14,9 @@ go build ./...
 echo "== golden trace export (byte-stable Chrome trace JSON)"
 go test ./internal/experiments -run 'TestTraceGoldenExport|TestTraceProperties'
 
+echo "== batching determinism gate (burst cap 1 bit-identical to unbatched) + smoke"
+go test -short ./internal/experiments -run 'TestBatchingGoldenAtB1|TestBatchingSmoke'
+
 echo "== go test -race ./..."
 go test -race ./...
 
