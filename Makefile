@@ -1,4 +1,4 @@
-.PHONY: check check-fast test bench trace-demo
+.PHONY: check check-fast test bench bench-raw trace-demo
 
 # Full gate: vet + build + race-enabled tests (includes the 100-scenario
 # fault-injection soak).
@@ -19,7 +19,13 @@ check-fast:
 test:
 	go test -short ./...
 
+# Serial + parallel benchmark passes folded into BENCH_5.json (see
+# scripts/bench.sh; BENCHTIME/OUT env knobs). `make bench-raw` keeps the
+# old direct run.
 bench:
+	./scripts/bench.sh
+
+bench-raw:
 	go test -bench=. -benchmem
 
 # Traced overload run: writes artifacts/trace-trace.json, a Chrome

@@ -27,14 +27,21 @@ import (
 // benchExperiment regenerates one table/figure per iteration and reports
 // its wall-clock cost. Shape-check failures fail the benchmark: the
 // benchmark suite doubles as the reproduction gate.
+//
+// Sweep fan-out follows CF_PARALLEL: unset (or 0) uses GOMAXPROCS workers,
+// CF_PARALLEL=1 forces the serial path. scripts/bench.sh runs the suite
+// both ways and records the ratio in BENCH_5.json; the reports themselves
+// are byte-identical at every width (see determinism_test.go).
 func benchExperiment(b *testing.B, id string) {
 	fn, ok := experiments.All()[id]
 	if !ok {
 		b.Fatalf("unknown experiment %q", id)
 	}
+	sc := experiments.Quick()
+	sc.Workers = experiments.WorkersFromEnv()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep := fn(experiments.Quick())
+		rep := fn(sc)
 		if fails := rep.Failed(); len(fails) > 0 {
 			b.Fatalf("experiment %s shape checks failed: %v", id, fails)
 		}

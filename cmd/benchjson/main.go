@@ -1,0 +1,155 @@
+// Command benchjson folds two `go test -bench -benchmem` outputs — one
+// serial (CF_PARALLEL=1), one parallel (CF_PARALLEL=0 → GOMAXPROCS) — into
+// a single JSON perf record (BENCH_N.json). The record is the repo's perf
+// trajectory: each PR appends a file, so regressions in wall-clock or
+// allocation discipline are visible in review rather than discovered later.
+//
+// Usage:
+//
+//	benchjson -serial serial.txt -parallel parallel.txt -out BENCH_5.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// benchLine matches `BenchmarkName-8  4  123456 ns/op  7890 B/op  12 allocs/op`
+// (the -benchmem columns are optional).
+var benchLine = regexp.MustCompile(
+	`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+type sample struct {
+	NsOp     float64
+	BOp      int64
+	AllocsOp int64
+}
+
+func parse(path string) (map[string]sample, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	out := map[string]sample{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		s := sample{}
+		s.NsOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			s.BOp, _ = strconv.ParseInt(m[3], 10, 64)
+			s.AllocsOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if _, seen := out[m[1]]; !seen {
+			order = append(order, m[1])
+		}
+		out[m[1]] = s
+	}
+	return out, order, sc.Err()
+}
+
+type entry struct {
+	Name             string  `json:"name"`
+	SerialNsOp       float64 `json:"serial_ns_op"`
+	ParallelNsOp     float64 `json:"parallel_ns_op,omitempty"`
+	SpeedupParallel  float64 `json:"speedup_parallel,omitempty"`
+	SerialBOp        int64   `json:"serial_b_op"`
+	SerialAllocsOp   int64   `json:"serial_allocs_op"`
+	ParallelAllocsOp int64   `json:"parallel_allocs_op,omitempty"`
+}
+
+type record struct {
+	Schema       string  `json:"schema"`
+	GeneratedAt  string  `json:"generated_at"`
+	GoVersion    string  `json:"go_version"`
+	HostCores    int     `json:"host_cores"`
+	Workers      int     `json:"parallel_workers"`
+	Note         string  `json:"note,omitempty"`
+	Benchmarks   []entry `json:"benchmarks"`
+	TotalSerial  float64 `json:"total_serial_ns"`
+	TotalParall  float64 `json:"total_parallel_ns"`
+	TotalSpeedup float64 `json:"total_speedup"`
+}
+
+func main() {
+	serialPath := flag.String("serial", "", "bench output with CF_PARALLEL=1")
+	parallelPath := flag.String("parallel", "", "bench output with CF_PARALLEL unset (GOMAXPROCS workers)")
+	out := flag.String("out", "", "output JSON path (stdout if empty)")
+	note := flag.String("note", "", "free-form context (host caveats, scale)")
+	flag.Parse()
+	if *serialPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -serial is required")
+		os.Exit(2)
+	}
+	serial, order, err := parse(*serialPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	parallel := map[string]sample{}
+	if *parallelPath != "" {
+		parallel, _, err = parse(*parallelPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	rec := record{
+		Schema:      "cornflakes-bench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		HostCores:   runtime.NumCPU(),
+		Workers:     runtime.GOMAXPROCS(0),
+		Note:        *note,
+	}
+	for _, name := range order {
+		s := serial[name]
+		e := entry{
+			Name:           name,
+			SerialNsOp:     s.NsOp,
+			SerialBOp:      s.BOp,
+			SerialAllocsOp: s.AllocsOp,
+		}
+		rec.TotalSerial += s.NsOp
+		if p, ok := parallel[name]; ok {
+			e.ParallelNsOp = p.NsOp
+			e.ParallelAllocsOp = p.AllocsOp
+			if p.NsOp > 0 {
+				e.SpeedupParallel = s.NsOp / p.NsOp
+			}
+			rec.TotalParall += p.NsOp
+		}
+		rec.Benchmarks = append(rec.Benchmarks, e)
+	}
+	if rec.TotalParall > 0 {
+		rec.TotalSpeedup = rec.TotalSerial / rec.TotalParall
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, total speedup x%.2f)\n", *out, len(rec.Benchmarks), rec.TotalSpeedup)
+}

@@ -7,6 +7,11 @@
 //	cf-bench -exp all             # everything (takes a while)
 //	cf-bench -exp tab1 -quick     # reduced scale
 //	cf-bench -batch               # the batched-datapath sweep (-exp batching)
+//	cf-bench -exp fig7 -parallel 4  # fan sweep points across 4 goroutines
+//
+// -parallel (default GOMAXPROCS) only changes wall-clock: sweep points run
+// on independent testbeds and merge in point order, so reports are
+// byte-identical at any width (gated by TestSerialParallelFingerprints).
 //
 // Experiment ids: fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 tab1 tab2 tab3 tab4 tab5.
@@ -17,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"time"
 
@@ -30,6 +36,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	csvDir := flag.String("csv", "", "also write each report's table to <dir>/<id>.csv")
 	traceDir := flag.String("trace", "", "enable per-request tracing on experiments that support it and write each report's artifacts (Chrome trace JSON) to <dir>")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"sweep fan-out width: independent sweep points run on up to N goroutines (1 = serial); reports are byte-identical at any width")
 	flag.Parse()
 
 	all := experiments.All()
@@ -50,16 +58,20 @@ func main() {
 		sc = experiments.Quick()
 	}
 	sc.Trace = *traceDir != ""
+	sc.Workers = *parallel
 	if *batch {
 		*exp = "batching"
 	}
 
+	done, total := 0, 1
 	run := func(id string) bool {
 		fn, ok := all[id]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "cf-bench: unknown experiment %q\n", id)
 			return false
 		}
+		done++
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s (workers=%d) ...\n", done, total, id, sc.Workers)
 		start := time.Now()
 		rep := fn(sc)
 		fmt.Println(rep)
@@ -101,6 +113,7 @@ func main() {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
+		total = len(ids)
 		for _, id := range ids {
 			if !run(id) {
 				okAll = false

@@ -115,12 +115,22 @@ func (l *level) lookup(line uint64) bool {
 }
 
 // fill inserts line, evicting the LRU way if the set is full. Returns the
-// evicted line and true if an eviction happened.
+// evicted line and true if an eviction happened. Sets are materialized
+// lazily at full associativity capacity, so after a set's first fill the
+// MRU insert is an in-place shift — no allocation on the steady-state path.
 func (l *level) fill(line uint64) (uint64, bool) {
 	idx := l.setIndex(line)
 	set := l.sets[idx]
 	if len(set) < l.cfg.Ways {
-		l.sets[idx] = append([]uint64{line}, set...)
+		if cap(set) < l.cfg.Ways {
+			grown := make([]uint64, len(set), l.cfg.Ways)
+			copy(grown, set)
+			set = grown
+		}
+		set = set[:len(set)+1]
+		copy(set[1:], set)
+		set[0] = line
+		l.sets[idx] = set
 		return 0, false
 	}
 	victim := set[len(set)-1]
@@ -144,10 +154,11 @@ func (l *level) contains(line uint64) bool {
 	return false
 }
 
-// flushAll drops every line (used by experiments to start cold).
+// flushAll drops every line (used by experiments to start cold). Capacity
+// is kept so refills after a flush stay allocation-free.
 func (l *level) flushAll() {
 	for i := range l.sets {
-		l.sets[i] = nil
+		l.sets[i] = l.sets[i][:0]
 	}
 }
 

@@ -1,0 +1,56 @@
+package costmodel
+
+import (
+	"testing"
+
+	"cornflakes/internal/cachesim"
+	"cornflakes/internal/mem"
+)
+
+// TestMeterChargeAllocFree pins 0 allocs on the meter's per-request hot
+// path — charge, cache-modelled access, copy, receipt — once the cache
+// model's set storage is warm. Every simulated request crosses this path
+// several times, so an allocation here multiplies across the whole suite.
+func TestMeterChargeAllocFree(t *testing.T) {
+	m := NewMeter(DefaultCPU(), cachesim.New(cachesim.DefaultConfig()))
+	src := uint64(mem.SimDataBase)
+	dst := uint64(mem.SimScratchBase)
+	work := func() {
+		m.SetCategory(CatApp)
+		m.Charge(100)
+		m.Access(src, 2048)
+		m.Copy(src, dst, 2048)
+		m.MetadataAccess(src)
+		m.SGPost()
+		m.Drain()
+		m.TakeReceipt()
+	}
+	// Warm the cache sets touched by these addresses.
+	for i := 0; i < 8; i++ {
+		work()
+	}
+	allocs := testing.AllocsPerRun(100, work)
+	if allocs != 0 {
+		t.Fatalf("meter hot path allocated %.2f allocs per request (want 0)", allocs)
+	}
+}
+
+// TestCacheFillAllocFree pins the cache model's fill path: after a set has
+// been materialized once, fills and evictions shift lines in place.
+func TestCacheFillAllocFree(t *testing.T) {
+	h := cachesim.New(cachesim.DefaultConfig())
+	// Touch a strided range big enough to force evictions at every level.
+	span := 64 << 20
+	step := uint64(4096)
+	addr := uint64(mem.SimDataBase)
+	touch := func() {
+		for a := addr; a < addr+uint64(span); a += step * 64 {
+			h.Access(a)
+		}
+	}
+	touch() // materialize all sets on the walk
+	allocs := testing.AllocsPerRun(10, touch)
+	if allocs != 0 {
+		t.Fatalf("warm cache fills allocated %.2f allocs (want 0)", allocs)
+	}
+}

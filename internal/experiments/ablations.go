@@ -28,9 +28,12 @@ func Fig12(sc Scale) *Report {
 		}).AchievedRps
 	}
 	// All arms share one seed so they serve the identical request sequence.
-	hybrid := run(core.DefaultThreshold, 131)
-	sgOnly := run(core.ThresholdAllZeroCopy, 131)
-	copyOnly := run(core.ThresholdAllCopy, 131)
+	arms := []int{core.DefaultThreshold, core.ThresholdAllZeroCopy, core.ThresholdAllCopy}
+	caps := make([]float64, len(arms))
+	forEach(sc.workers(), len(arms), func(i int) {
+		caps[i] = run(arms[i], 131)
+	})
+	hybrid, sgOnly, copyOnly := caps[0], caps[1], caps[2]
 	r.Rows = append(r.Rows,
 		[]string{"hybrid (512B)", f1(hybrid / 1000)},
 		[]string{"only scatter-gather", f1(sgOnly / 1000)},
@@ -56,17 +59,22 @@ func Tab4(sc Scale) *Report {
 		Header: []string{"list shape", "hybrid", "only-SG", "hybrid gain"},
 	}
 	shapes := []int{1, 4, 8, 16}
+	// 4 list shapes × {hybrid, only-SG} = 8 independent capacity probes.
+	cells := make([]float64, 2*len(shapes))
+	forEach(sc.workers(), len(cells), func(i int) {
+		gen := googleGen(sc, shapes[i/2], 140)
+		th := core.DefaultThreshold
+		if i%2 == 1 {
+			th = core.ThresholdAllZeroCopy
+		}
+		cells[i] = kvCapacity(kvOpts{
+			Sys: driver.SysCornflakes, Gen: gen, SmallCache: true,
+			Threshold: th, ThresholdSet: true, Scale: sc, Seed: 141,
+		}).AchievedRps
+	})
 	gains := map[int]float64{}
-	for _, mv := range shapes {
-		gen := googleGen(sc, mv, 140)
-		hybrid := kvCapacity(kvOpts{
-			Sys: driver.SysCornflakes, Gen: gen, SmallCache: true,
-			Threshold: core.DefaultThreshold, ThresholdSet: true, Scale: sc, Seed: 141,
-		}).AchievedRps
-		sgOnly := kvCapacity(kvOpts{
-			Sys: driver.SysCornflakes, Gen: gen, SmallCache: true,
-			Threshold: core.ThresholdAllZeroCopy, ThresholdSet: true, Scale: sc, Seed: 141,
-		}).AchievedRps
+	for si, mv := range shapes {
+		hybrid, sgOnly := cells[2*si], cells[2*si+1]
 		g := pct(hybrid, sgOnly)
 		gains[mv] = g
 		r.Rows = append(r.Rows, []string{
@@ -102,16 +110,17 @@ func Tab5(sc Scale) *Report {
 		{"Twitter", twitterGen(sc, 151), "krps"},
 		{"YCSB 1024x4", workloads.NewYCSB(4*sc.StoreKeys, 1024, 4), "krps"},
 	}
+	// 3 workloads × {with, without} = 6 independent capacity probes.
+	cells := make([]float64, 2*len(wls))
+	forEach(sc.workers(), len(cells), func(i int) {
+		cells[i] = kvCapacity(kvOpts{
+			Sys: driver.SysCornflakes, Gen: wls[i/2].gen, SmallCache: true,
+			UseSGArray: i%2 == 1, Scale: sc, Seed: 152,
+		}).AchievedRps
+	})
 	gains := map[string]float64{}
-	for _, w := range wls {
-		with := kvCapacity(kvOpts{
-			Sys: driver.SysCornflakes, Gen: w.gen, SmallCache: true,
-			Scale: sc, Seed: 152,
-		}).AchievedRps
-		without := kvCapacity(kvOpts{
-			Sys: driver.SysCornflakes, Gen: w.gen, SmallCache: true,
-			UseSGArray: true, Scale: sc, Seed: 152,
-		}).AchievedRps
+	for wi, w := range wls {
+		with, without := cells[2*wi], cells[2*wi+1]
 		g := pct(with, without)
 		gains[w.name] = g
 		r.Rows = append(r.Rows, []string{
@@ -147,11 +156,20 @@ func Fig13(sc Scale) *Report {
 	if sc.Cores >= 8 {
 		cores = append(cores, 8)
 	}
+	// core counts × {copy, raw sg} = up to 8 independent adaptive probes.
+	cells := make([]float64, 2*len(cores))
+	forEach(sc.workers(), len(cells), func(i int) {
+		k := cores[i/2]
+		if i%2 == 0 {
+			cells[i] = microMaxGbps(microCopy, k, 512, 2, workingSet, sc, 160)
+		} else {
+			cells[i] = microMaxGbps(microSGRaw, k, 512, 2, workingSet, sc, 161)
+		}
+	})
 	copyG := map[int]float64{}
 	sgG := map[int]float64{}
-	for _, k := range cores {
-		copyG[k] = microMaxGbps(microCopy, k, 512, 2, workingSet, sc, 160)
-		sgG[k] = microMaxGbps(microSGRaw, k, 512, 2, workingSet, sc, 161)
+	for ki, k := range cores {
+		copyG[k], sgG[k] = cells[2*ki], cells[2*ki+1]
 		r.Rows = append(r.Rows, []string{fmt.Sprintf("%d", k), f1(copyG[k]), f1(sgG[k])})
 	}
 	r.AddCheck("scatter-gather ahead of copy at every core count",

@@ -136,13 +136,19 @@ func Batching(sc Scale) *Report {
 	rates := loadgen.GeometricRates(0.2*capRps, 1.5*capRps, sc.SweepPoints)
 	lo, hi := 0, len(rates)-1
 
-	// grid[burst index][rate index]
+	// grid[burst index][rate index]; every cell is an independent testbed,
+	// so the whole burst × rate grid fans out at once.
 	grid := make([][]BatchPoint, len(batchingBursts))
-	for bi, burst := range batchingBursts {
+	for bi := range grid {
 		grid[bi] = make([]BatchPoint, len(rates))
-		for ri, rate := range rates {
-			p := BatchingAt(sc, burst, rate)
-			grid[bi][ri] = p
+	}
+	forEach(sc.workers(), len(batchingBursts)*len(rates), func(i int) {
+		bi, ri := i/len(rates), i%len(rates)
+		grid[bi][ri] = BatchingAt(sc, batchingBursts[bi], rates[ri])
+	})
+	for bi, burst := range batchingBursts {
+		for ri := range rates {
+			p := grid[bi][ri]
 			r.Rows = append(r.Rows, []string{
 				fmt.Sprint(burst),
 				fmt.Sprintf("%.0f", p.Res.OfferedRps),

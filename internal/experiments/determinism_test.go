@@ -1,0 +1,83 @@
+package experiments
+
+import "testing"
+
+// TestSerialParallelFingerprints is the determinism gate for the parallel
+// sweep harness: running an experiment serially and with a multi-worker
+// fan-out must produce byte-identical reports — same rendered table, same
+// check evidence, same trace artifact bytes — because every sweep point is
+// computed on exactly one goroutine against its own engine and results
+// merge in point order. scripts/check.sh runs this test explicitly so a
+// future change cannot silently trade determinism for speed.
+func TestSerialParallelFingerprints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep pair per experiment; skipped in -short")
+	}
+	cases := []struct {
+		id    string
+		trace bool
+	}{
+		// fig9 exercises the TCP stack, overload the shedding/retry layer
+		// (with a traced run so artifact bytes are pinned too), batching
+		// the batched RX/TX grid plus its own fingerprint rerun.
+		{"fig9", false},
+		{"overload", true},
+		{"batching", true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			t.Parallel()
+			fn := All()[tc.id]
+			if fn == nil {
+				t.Fatalf("unknown experiment %q", tc.id)
+			}
+			serial := Quick()
+			serial.Trace = tc.trace
+			parallel := serial
+			parallel.Workers = 4
+
+			repS := fn(serial)
+			repP := fn(parallel)
+			if fpS, fpP := repS.Fingerprint(), repP.Fingerprint(); fpS != fpP {
+				t.Errorf("%s: serial fingerprint %016x != parallel %016x", tc.id, fpS, fpP)
+				if s, p := repS.String(), repP.String(); s != p {
+					t.Logf("serial report:\n%s\nparallel report:\n%s", s, p)
+				}
+				for name, data := range repS.Artifacts {
+					if string(repP.Artifacts[name]) != string(data) {
+						t.Errorf("%s: artifact %s differs between serial and parallel", tc.id, name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFingerprintSensitivity guards the gate itself: the fingerprint must
+// actually move when any report surface changes.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := func() *Report {
+		r := &Report{ID: "x", Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}}
+		r.AddCheck("c", true, "ok")
+		r.AddArtifact("f.json", []byte("{}"))
+		return r
+	}
+	ref := base().Fingerprint()
+	mutations := map[string]func(*Report){
+		"row cell":  func(r *Report) { r.Rows[0][0] = "2" },
+		"check":     func(r *Report) { r.Checks[0].Pass = false },
+		"note":      func(r *Report) { r.Notes = append(r.Notes, "n") },
+		"artifact":  func(r *Report) { r.Artifacts["f.json"] = []byte("{ }") },
+		"new file":  func(r *Report) { r.AddArtifact("g.json", []byte("{}")) },
+		"title":     func(r *Report) { r.Title = "u" },
+		"check got": func(r *Report) { r.Checks[0].Got = "nope" },
+	}
+	for name, mutate := range mutations {
+		r := base()
+		mutate(r)
+		if r.Fingerprint() == ref {
+			t.Errorf("fingerprint did not change when %s changed", name)
+		}
+	}
+}

@@ -27,30 +27,35 @@ func ExtArena(sc Scale) *Report {
 		Title:  "Ablation: arena vs heap allocation for copied CFPtr vectors (krps)",
 		Header: []string{"list shape", "arena", "heap", "arena gain"},
 	}
-	gains := map[int]float64{}
-	for _, mv := range []int{4, 16} {
+	shapes := []int{4, 16}
+	measureShape := func(mv int, disableArena bool) float64 {
 		gen := googleGen(sc, mv, 170)
-		measure := func(disableArena bool) float64 {
-			cfg := expCacheConfig()
-			return capacityOf(func(rate float64) (loadgen.Result, *sim.Core) {
-				// Rebuild per rate for a clean cache.
-				tb := driver.NewTestbedCfg(nic.MellanoxCX6(), cfg)
-				srv := driver.NewKVServer(tb.Server, driver.SysCornflakes)
-				tb.Server.Ctx.DisableArena = disableArena
-				srv.Preload(gen.Records())
-				res := loadgen.Run(loadgen.Config{
-					Eng: tb.Eng, EP: tb.Client.UDP,
-					Gen: gen, Client: driver.NewKVClient(tb.Client, driver.SysCornflakes),
-					RatePerS: rate,
-					Warmup:   sim.Time(sc.WarmupMs) * sim.Millisecond,
-					Measure:  sim.Time(sc.MeasureMs) * sim.Millisecond,
-					Seed:     171,
-				})
-				return res, tb.Server.Core
-			}, 100_000).AchievedRps
-		}
-		arena := measure(false)
-		heap := measure(true)
+		cfg := expCacheConfig()
+		return capacityOf(func(rate float64) (loadgen.Result, *sim.Core) {
+			// Rebuild per rate for a clean cache.
+			tb := driver.NewTestbedCfg(nic.MellanoxCX6(), cfg)
+			srv := driver.NewKVServer(tb.Server, driver.SysCornflakes)
+			tb.Server.Ctx.DisableArena = disableArena
+			srv.Preload(gen.Records())
+			res := loadgen.Run(loadgen.Config{
+				Eng: tb.Eng, EP: tb.Client.UDP,
+				Gen: gen, Client: driver.NewKVClient(tb.Client, driver.SysCornflakes),
+				RatePerS: rate,
+				Warmup:   sim.Time(sc.WarmupMs) * sim.Millisecond,
+				Measure:  sim.Time(sc.MeasureMs) * sim.Millisecond,
+				Seed:     171,
+			})
+			return res, tb.Server.Core
+		}, 100_000).AchievedRps
+	}
+	// 2 list shapes × {arena, heap} = 4 independent capacity probes.
+	cells := make([]float64, 2*len(shapes))
+	forEach(sc.workers(), len(cells), func(i int) {
+		cells[i] = measureShape(shapes[i/2], i%2 == 1)
+	})
+	gains := map[int]float64{}
+	for si, mv := range shapes {
+		arena, heap := cells[2*si], cells[2*si+1]
 		g := pct(arena, heap)
 		gains[mv] = g
 		r.Rows = append(r.Rows, []string{
@@ -78,7 +83,7 @@ func ExtAdaptive(sc Scale) *Report {
 		Title:  "Extension (§7): adaptive zero-copy threshold convergence",
 		Header: []string{"scenario", "start", "converged", "adjustments"},
 	}
-	run := func(name string, start, keys, l3 int) int {
+	run := func(name string, start, keys, l3 int) ([]string, int) {
 		cfg := cachesim.DefaultConfig()
 		cfg.L3.Size = l3
 		gen := workloads.NewYCSB(keys, 512, 2)
@@ -95,14 +100,23 @@ func ExtAdaptive(sc Scale) *Report {
 			Measure:  sim.Time(3*sc.MeasureMs) * sim.Millisecond,
 			Seed:     172,
 		})
-		r.Rows = append(r.Rows, []string{
+		row := []string{
 			name, fmt.Sprintf("%d", start), fmt.Sprintf("%d", tb.Server.Ctx.Threshold),
 			fmt.Sprintf("%d", srv.Adaptive.Adjustments),
-		})
-		return tb.Server.Ctx.Threshold
+		}
+		return row, tb.Server.Ctx.Threshold
 	}
-	cold := run("cold store, start 64B", 64, 8*sc.StoreKeys, 512<<10)
-	warm := run("warm store, start 4096B", 4096, sc.StoreKeys/2, 16<<20)
+	rows := make([][]string, 2)
+	converged := make([]int, 2)
+	forEach(sc.workers(), 2, func(i int) {
+		if i == 0 {
+			rows[i], converged[i] = run("cold store, start 64B", 64, 8*sc.StoreKeys, 512<<10)
+		} else {
+			rows[i], converged[i] = run("warm store, start 4096B", 4096, sc.StoreKeys/2, 16<<20)
+		}
+	})
+	r.Rows = append(r.Rows, rows...)
+	cold, warm := converged[0], converged[1]
 	r.AddCheck("cold-metadata threshold rises from a too-low start",
 		cold >= 256, "64 -> %d", cold)
 	r.AddCheck("warm-metadata threshold falls from a too-high start",

@@ -24,26 +24,32 @@ func Fig10(sc Scale) *Report {
 	const total = 1024
 	entries := []int{1, 2, 4, 6}
 	profiles := []nic.Profile{nic.IntelE810(), nic.MellanoxCX6()}
+	// 2 NICs × 4 entry counts, each an independent SG-vs-copy pair.
+	grid := make([]float64, len(profiles)*len(entries))
+	forEach(sc.workers(), len(grid), func(i int) {
+		prof, k := profiles[i/len(entries)], entries[i%len(entries)]
+		seg := total / k
+		keys := (16 << 20) / total
+		if keys > 16*sc.StoreKeys {
+			keys = 16 * sc.StoreKeys
+		}
+		gen := workloads.NewYCSB(keys, seg, k)
+		sg := kvCapacity(kvOpts{
+			Sys: driver.SysCornflakes, Gen: gen, Profile: prof, SmallCache: true,
+			Threshold: core.ThresholdAllZeroCopy, ThresholdSet: true, Scale: sc, Seed: 110,
+		})
+		cp := kvCapacity(kvOpts{
+			Sys: driver.SysCornflakes, Gen: gen, Profile: prof, SmallCache: true,
+			Threshold: core.ThresholdAllCopy, ThresholdSet: true, Scale: sc, Seed: 110,
+		})
+		grid[i] = pct(sg.AchievedRps, cp.AchievedRps)
+	})
 	diffs := map[string]map[int]float64{}
-	for _, prof := range profiles {
+	for pi, prof := range profiles {
 		row := []string{prof.Name}
 		diffs[prof.Name] = map[int]float64{}
-		for _, k := range entries {
-			seg := total / k
-			keys := (16 << 20) / total
-			if keys > 16*sc.StoreKeys {
-				keys = 16 * sc.StoreKeys
-			}
-			gen := workloads.NewYCSB(keys, seg, k)
-			sg := kvCapacity(kvOpts{
-				Sys: driver.SysCornflakes, Gen: gen, Profile: prof, SmallCache: true,
-				Threshold: core.ThresholdAllZeroCopy, ThresholdSet: true, Scale: sc, Seed: 110,
-			})
-			cp := kvCapacity(kvOpts{
-				Sys: driver.SysCornflakes, Gen: gen, Profile: prof, SmallCache: true,
-				Threshold: core.ThresholdAllCopy, ThresholdSet: true, Scale: sc, Seed: 110,
-			})
-			d := pct(sg.AchievedRps, cp.AchievedRps)
+		for ki, k := range entries {
+			d := grid[pi*len(entries)+ki]
 			diffs[prof.Name][k] = d
 			row = append(row, fmt.Sprintf("%+.1f%%", d))
 		}

@@ -41,9 +41,14 @@ func Fig11(sc Scale) *Report {
 		sum.Scale(n)
 		return sum
 	}
+	systems := []driver.System{driver.SysCornflakes, driver.SysFlatBuffers, driver.SysProtobuf}
+	perSys := make([]costmodel.Receipt, len(systems))
+	forEach(sc.workers(), len(systems), func(i int) {
+		perSys[i] = measure(systems[i])
+	})
 	recs := map[driver.System]costmodel.Receipt{}
-	for _, sys := range []driver.System{driver.SysCornflakes, driver.SysFlatBuffers, driver.SysProtobuf} {
-		rec := measure(sys)
+	for i, sys := range systems {
+		rec := perSys[i]
 		recs[sys] = rec
 		ser := rec.Cycles[costmodel.CatSerialize] + rec.Cycles[costmodel.CatTx]
 		r.Rows = append(r.Rows, []string{

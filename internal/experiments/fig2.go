@@ -1,6 +1,9 @@
 package experiments
 
-import "cornflakes/internal/driver"
+import (
+	"cornflakes/internal/driver"
+	"cornflakes/internal/loadgen"
+)
 
 // Fig2 reproduces Figure 2: p99 latency vs achieved load for the echo
 // server (two 2048-byte fields) across no-serialization, zero-copy,
@@ -27,10 +30,14 @@ func Fig2(sc Scale) *Report {
 		{"FlatBuffers", driver.EchoLib, driver.SysFlatBuffers},
 		{"Cap'n Proto", driver.EchoLib, driver.SysCapnProto},
 	}
+	results := make([]loadgen.Result, len(arms))
+	forEach(sc.workers(), len(arms), func(i int) {
+		a := arms[i]
+		results[i] = echoCapacity(echoOpts{Mode: a.mode, Sys: a.sys, FieldSize: 2048, NumFields: 2, Scale: sc, Seed: 20})
+	})
 	gbps := map[string]float64{}
-	for _, a := range arms {
-		o := echoOpts{Mode: a.mode, Sys: a.sys, FieldSize: 2048, NumFields: 2, Scale: sc, Seed: 20}
-		res := echoCapacity(o)
+	for i, a := range arms {
+		res := results[i]
 		gbps[a.name] = res.AchievedGbps
 		r.Rows = append(r.Rows, []string{a.name, f1(res.AchievedGbps), f1(res.Latency.Quantile(0.99).Microseconds())})
 	}

@@ -17,14 +17,25 @@ func Fig3(sc Scale) *Report {
 	workingSet := 5 * (2 << 20) // 5x the modelled L3 (§2.4)
 	counts := []int{32, 16, 8, 4, 2, 1}
 	type point struct{ copy, sg, raw float64 }
-	points := map[int]point{}
-	for _, k := range counts {
+	// Each (count, mode) cell is an independent adaptive probe; fan the
+	// flattened grid out and fold back in count order.
+	cells := make([]float64, 3*len(counts))
+	forEach(sc.workers(), len(cells), func(i int) {
+		k := counts[i/3]
 		seg := total / k
-		p := point{
-			copy: microMaxGbps(microCopy, 1, seg, k, workingSet, sc, 30),
-			sg:   microMaxGbps(microSGSafe, 1, seg, k, workingSet, sc, 31),
-			raw:  microMaxGbps(microSGRaw, 1, seg, k, workingSet, sc, 32),
+		switch i % 3 {
+		case 0:
+			cells[i] = microMaxGbps(microCopy, 1, seg, k, workingSet, sc, 30)
+		case 1:
+			cells[i] = microMaxGbps(microSGSafe, 1, seg, k, workingSet, sc, 31)
+		default:
+			cells[i] = microMaxGbps(microSGRaw, 1, seg, k, workingSet, sc, 32)
 		}
+	})
+	points := map[int]point{}
+	for ki, k := range counts {
+		seg := total / k
+		p := point{copy: cells[3*ki], sg: cells[3*ki+1], raw: cells[3*ki+2]}
 		points[k] = p
 		r.Rows = append(r.Rows, []string{
 			fmt.Sprintf("%d", k), fmt.Sprintf("%d", seg),

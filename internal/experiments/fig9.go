@@ -43,12 +43,21 @@ func Fig9(sc Scale) *Report {
 		perReq := float64(tb.Server.Core.BusyTime) / float64(tb.Server.Core.JobsDone)
 		return res.Latency, perReq
 	}
+	modes := []driver.TCPEchoMode{driver.TCPEchoRaw, driver.TCPEchoFlatBuffers, driver.TCPEchoCornflakes}
+	type modeRes struct {
+		h      *loadgen.Histogram
+		perReq float64
+	}
+	perMode := make([]modeRes, len(modes))
+	forEach(sc.workers(), len(modes), func(i int) {
+		perMode[i].h, perMode[i].perReq = run(modes[i])
+	})
 	hists := map[driver.TCPEchoMode]*loadgen.Histogram{}
 	service := map[driver.TCPEchoMode]float64{}
-	for _, mode := range []driver.TCPEchoMode{driver.TCPEchoRaw, driver.TCPEchoFlatBuffers, driver.TCPEchoCornflakes} {
-		h, perReq := run(mode)
+	for i, mode := range modes {
+		h := perMode[i].h
 		hists[mode] = h
-		service[mode] = perReq
+		service[mode] = perMode[i].perReq
 		r.Rows = append(r.Rows, []string{
 			mode.String(),
 			f1(h.Quantile(0.05).Microseconds()),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cornflakes/internal/driver"
+	"cornflakes/internal/loadgen"
 	"cornflakes/internal/workloads"
 )
 
@@ -27,16 +28,23 @@ func Tab1(sc Scale) *Report {
 		Header: []string{"system", "1 val", "1-4 vals", "1-8 vals", "1-16 vals"},
 	}
 	shapes := []int{1, 4, 8, 16}
+	systems := driver.AllSystems()
+	// 4 systems × 4 list shapes = 16 independent capacity probes.
+	cells := make([]float64, len(systems)*len(shapes))
+	forEach(sc.workers(), len(cells), func(i int) {
+		sys, mv := systems[i/len(shapes)], shapes[i%len(shapes)]
+		res := kvCapacity(kvOpts{
+			Sys: sys, Gen: googleGen(sc, mv, 60), SmallCache: true,
+			Scale: sc, Seed: 61,
+		})
+		cells[i] = res.AchievedRps / 1000
+	})
 	tput := map[driver.System]map[int]float64{}
-	for _, sys := range driver.AllSystems() {
+	for si, sys := range systems {
 		tput[sys] = map[int]float64{}
 		row := []string{sys.String()}
-		for _, mv := range shapes {
-			res := kvCapacity(kvOpts{
-				Sys: sys, Gen: googleGen(sc, mv, 60), SmallCache: true,
-				Scale: sc, Seed: 61,
-			})
-			krps := res.AchievedRps / 1000
+		for mi, mv := range shapes {
+			krps := cells[si*len(shapes)+mi]
 			tput[sys][mv] = krps
 			row = append(row, f1(krps))
 		}
@@ -69,17 +77,25 @@ func Fig6(sc Scale) *Report {
 		Title:  "Google 1-8 values: achieved load (krps) vs p99 (us)",
 		Header: []string{"system", "offered krps", "achieved krps", "p99 us"},
 	}
+	systems := driver.AllSystems()
+	type sysRes struct {
+		points []loadgen.Result
+		top    loadgen.Result
+	}
+	perSys := make([]sysRes, len(systems))
+	forEach(sc.workers(), len(systems), func(i int) {
+		o := kvOpts{Sys: systems[i], Gen: googleGen(sc, 8, 60), SmallCache: true, Scale: sc, Seed: 62}
+		perSys[i].points, perSys[i].top = kvSweep(o, 100_000, 2_500_000)
+	})
 	best := map[driver.System]float64{}
-	for _, sys := range driver.AllSystems() {
-		o := kvOpts{Sys: sys, Gen: googleGen(sc, 8, 60), SmallCache: true, Scale: sc, Seed: 62}
-		points, top := kvSweep(o, 100_000, 2_500_000)
-		for _, p := range points {
+	for i, sys := range systems {
+		for _, p := range perSys[i].points {
 			r.Rows = append(r.Rows, []string{
 				sys.String(), f1(p.OfferedRps / 1000), f1(p.AchievedRps / 1000),
 				f1(p.Latency.Quantile(0.99).Microseconds()),
 			})
 		}
-		best[sys] = top.AchievedRps
+		best[sys] = perSys[i].top.AchievedRps
 	}
 	r.AddCheck("Cornflakes performs as well as Protobuf on small values",
 		best[driver.SysCornflakes] > 0.90*best[driver.SysProtobuf],
@@ -101,15 +117,25 @@ func Fig7(sc Scale) *Report {
 		Title:  "Twitter cache trace: throughput vs p99 per system",
 		Header: []string{"system", "offered krps", "achieved krps", "p99 us"},
 	}
-	best := map[driver.System]float64{}
-	for _, sys := range driver.AllSystems() {
-		o := kvOpts{Sys: sys, Gen: twitterGen(sc, 70), SmallCache: true, Scale: sc, Seed: 71}
+	systems := driver.AllSystems()
+	type sysRes struct {
+		cap    loadgen.Result
+		points []loadgen.Result
+	}
+	perSys := make([]sysRes, len(systems))
+	forEach(sc.workers(), len(systems), func(i int) {
+		o := kvOpts{Sys: systems[i], Gen: twitterGen(sc, 70), SmallCache: true, Scale: sc, Seed: 71}
 		res := kvCapacity(o)
-		best[sys] = res.AchievedRps
 		// The paper presents this result as a throughput/p99 curve; emit a
 		// short sweep up to the measured capacity, then the capacity row.
 		points, _ := kvSweep(o, res.AchievedRps/8, res.AchievedRps*0.7)
-		for _, p := range points {
+		perSys[i] = sysRes{cap: res, points: points}
+	})
+	best := map[driver.System]float64{}
+	for i, sys := range systems {
+		res := perSys[i].cap
+		best[sys] = res.AchievedRps
+		for _, p := range perSys[i].points {
 			r.Rows = append(r.Rows, []string{
 				sys.String(), f1(p.OfferedRps / 1000), f1(p.AchievedRps / 1000),
 				f1(p.Latency.Quantile(0.99).Microseconds()),
@@ -142,13 +168,16 @@ func Tab2(sc Scale) *Report {
 		Title:  "CDN image trace: max throughput (kobjects/s) per system",
 		Header: []string{"system", "kobj/s"},
 	}
-	best := map[driver.System]float64{}
-	for _, sys := range driver.AllSystems() {
+	systems := driver.AllSystems()
+	caps := make([]loadgen.Result, len(systems))
+	forEach(sc.workers(), len(systems), func(i int) {
 		gen := workloads.NewCDN(sc.StoreKeys, 8000, 256<<10, 80)
-		o := kvOpts{Sys: sys, Gen: gen, SmallCache: true, Scale: sc, Seed: 81}
-		res := kvCapacity(o)
-		best[sys] = res.AchievedRps
-		r.Rows = append(r.Rows, []string{sys.String(), f2(res.AchievedRps / 1000)})
+		caps[i] = kvCapacity(kvOpts{Sys: systems[i], Gen: gen, SmallCache: true, Scale: sc, Seed: 81})
+	})
+	best := map[driver.System]float64{}
+	for i, sys := range systems {
+		best[sys] = caps[i].AchievedRps
+		r.Rows = append(r.Rows, []string{sys.String(), f2(caps[i].AchievedRps / 1000)})
 	}
 	cf := best[driver.SysCornflakes]
 	worstGain, bestGain := 1e18, 0.0

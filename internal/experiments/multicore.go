@@ -72,9 +72,15 @@ func ExtMulticore(sc Scale) *Report {
 	if sc.Cores >= 8 {
 		cores = append(cores, 8)
 	}
+	perCore := make([]float64, len(cores))
+	forEach(sc.workers(), len(cores), func(i int) {
+		perCore[i] = measure(cores[i])
+	})
 	caps := map[int]float64{}
+	for i, k := range cores {
+		caps[k] = perCore[i]
+	}
 	for _, k := range cores {
-		caps[k] = measure(k)
 		r.Rows = append(r.Rows, []string{
 			fmt.Sprintf("%d", k), f1(caps[k] / 1000),
 			fmt.Sprintf("x%.2f", caps[k]/caps[1]),

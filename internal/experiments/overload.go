@@ -141,10 +141,11 @@ func Overload(sc Scale) *Report {
 			overloadRetry.Deadline, overloadRetry.MaxRetries, overloadRetry.Backoff, overloadRetry.MaxBackoff))
 
 	rates := loadgen.GeometricRates(0.3*capRps, 2.5*capRps, sc.SweepPoints)
-	points := make([]OverloadPoint, 0, len(rates))
-	for _, rate := range rates {
-		points = append(points, OverloadAt(sc, rate))
-	}
+	// Each ladder point is a fresh testbed; fan them out in rate order.
+	points := make([]OverloadPoint, len(rates))
+	forEach(sc.workers(), len(rates), func(i int) {
+		points[i] = OverloadAt(sc, rates[i])
+	})
 
 	shedRate := func(p OverloadPoint) float64 {
 		if p.Res.Sent == 0 {

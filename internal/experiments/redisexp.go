@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"cornflakes/internal/loadgen"
 	"cornflakes/internal/redis"
 	"cornflakes/internal/workloads"
 )
@@ -17,14 +18,24 @@ func Fig8(sc Scale) *Report {
 		Title:  "Redis on the Twitter trace: max throughput per serialization",
 		Header: []string{"serialization", "max krps", "p99 us @ max"},
 	}
-	best := map[redis.Mode]float64{}
-	for _, mode := range []redis.Mode{redis.ModeRESP, redis.ModeCornflakes} {
-		o := redisOpts{Mode: mode, Gen: twitterGen(sc, 90), Scale: sc, Seed: 91}
+	modes := []redis.Mode{redis.ModeRESP, redis.ModeCornflakes}
+	type modeRes struct {
+		cap    loadgen.Result
+		points []loadgen.Result
+	}
+	perMode := make([]modeRes, len(modes))
+	forEach(sc.workers(), len(modes), func(i int) {
+		o := redisOpts{Mode: modes[i], Gen: twitterGen(sc, 90), Scale: sc, Seed: 91}
 		res := redisCapacity(o)
-		best[mode] = res.AchievedRps
 		// Curve points below capacity, as the paper's figure shows.
 		points, _ := redisSweep(o, res.AchievedRps/8, res.AchievedRps*0.7, sc.SweepPoints/2)
-		for _, p := range points {
+		perMode[i] = modeRes{cap: res, points: points}
+	})
+	best := map[redis.Mode]float64{}
+	for i, mode := range modes {
+		res := perMode[i].cap
+		best[mode] = res.AchievedRps
+		for _, p := range perMode[i].points {
 			r.Rows = append(r.Rows, []string{
 				mode.String() + " @" + f1(p.OfferedRps/1000) + "k",
 				f1(p.AchievedRps / 1000),
@@ -93,10 +104,18 @@ func Tab3(sc Scale) *Report {
 		{"mget-2", &mgetGen{workloads.NewYCSB(keys, 2048, 1)}},
 		{"lrange-2", workloads.NewYCSB(keys, 2048, 2)},
 	}
+	// 3 command shapes × 2 serializations = 6 independent capacity probes.
+	cells := make([]loadgen.Result, 2*len(shapes))
+	forEach(sc.workers(), len(cells), func(i int) {
+		mode := redis.ModeRESP
+		if i%2 == 1 {
+			mode = redis.ModeCornflakes
+		}
+		cells[i] = redisCapacity(redisOpts{Mode: mode, Gen: shapes[i/2].gen, Scale: sc, Seed: 92})
+	})
 	gains := map[string]float64{}
-	for _, sh := range shapes {
-		resp := redisCapacity(redisOpts{Mode: redis.ModeRESP, Gen: sh.gen, Scale: sc, Seed: 92})
-		cf := redisCapacity(redisOpts{Mode: redis.ModeCornflakes, Gen: sh.gen, Scale: sc, Seed: 92})
+	for si, sh := range shapes {
+		resp, cf := cells[2*si], cells[2*si+1]
 		g := pct(cf.AchievedRps, resp.AchievedRps)
 		gains[sh.name] = g
 		r.Rows = append(r.Rows, []string{

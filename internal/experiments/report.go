@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -124,6 +125,38 @@ func (r *Report) String() string {
 	return b.String()
 }
 
+// Fingerprint hashes everything externally observable about the report —
+// the rendered table, notes, checks, and every artifact byte — into a
+// stable 64-bit FNV-1a digest. The serial-vs-parallel determinism gate
+// compares fingerprints, so anything that could differ between runs must
+// feed the hash.
+func (r *Report) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // terminator so field boundaries can't alias
+		h *= prime64
+	}
+	mix(r.String())
+	names := make([]string, 0, len(r.Artifacts))
+	for name := range r.Artifacts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mix(name)
+		mix(string(r.Artifacts[name]))
+	}
+	return h
+}
+
 // Scale controls experiment size so tests can run quickly while cf-bench
 // runs the full versions.
 type Scale struct {
@@ -146,6 +179,12 @@ type Scale struct {
 	// determinism gate pins as bit-identical to the unbatched path. 0
 	// leaves batching off entirely.
 	Batch int
+	// Workers is the sweep fan-out width: how many independent sweep points
+	// (each a fresh engine + testbed) may run concurrently on host
+	// goroutines. 0 or 1 means serial. Results are always merged in point
+	// order, so reports are byte-identical at every width — see
+	// parallel.go for the isolation contract.
+	Workers int
 }
 
 // Full is the default experiment scale.

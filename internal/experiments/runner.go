@@ -157,10 +157,11 @@ func kvMaxTput(o kvOpts) loadgen.Result {
 }
 
 // kvSweep runs a ladder of offered loads and returns all points plus the
-// best per the 95% rule.
+// best per the 95% rule. Ladder points are independent (fresh testbed
+// each), so they fan out across the scale's worker budget.
 func kvSweep(o kvOpts, lo, hi float64) ([]loadgen.Result, loadgen.Result) {
 	rates := loadgen.GeometricRates(lo, hi, o.Scale.SweepPoints)
-	return loadgen.Sweep(rates, func(rate float64) loadgen.Result {
+	return loadgen.SweepN(rates, o.Scale.workers(), func(rate float64) loadgen.Result {
 		return runKVAt(o, rate)
 	})
 }
@@ -207,7 +208,7 @@ func redisMaxTput(o redisOpts) loadgen.Result {
 
 func redisSweep(o redisOpts, lo, hi float64, points int) ([]loadgen.Result, loadgen.Result) {
 	rates := loadgen.GeometricRates(lo, hi, points)
-	return loadgen.Sweep(rates, func(rate float64) loadgen.Result {
+	return loadgen.SweepN(rates, o.Scale.workers(), func(rate float64) loadgen.Result {
 		return runRedisAt(o, rate)
 	})
 }

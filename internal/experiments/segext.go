@@ -36,31 +36,43 @@ func ExtSegment(sc Scale) *Report {
 	cdn := workloads.NewCDN(sc.StoreKeys, 8000, 256<<10, 180)
 
 	// Arm A: the paper's methodology — one request per sub-object.
-	perSeg := kvCapacity(kvOpts{
-		Sys: driver.SysCornflakes, Gen: cdn, SmallCache: true, Scale: sc, Seed: 181,
+	// Arm B: whole objects over the segmentation layer. The two arms are
+	// independent, so they run concurrently under the worker budget.
+	var perSeg, whole loadgen.Result
+	measureA := func() loadgen.Result {
+		return kvCapacity(kvOpts{
+			Sys: driver.SysCornflakes, Gen: cdn, SmallCache: true, Scale: sc, Seed: 181,
+		})
+	}
+	measureB := func() loadgen.Result {
+		return capacityOf(func(rate float64) (loadgen.Result, *sim.Core) {
+			tb := driver.NewTestbedCfg(nic.MellanoxCX6(), expCacheConfig())
+			srv := driver.NewSegmentedKVServer(tb.Server, driver.SysCornflakes)
+			srv.Preload(cdn.Records())
+			clientSeg := netstack.NewSegmenter(tb.Client.UDP)
+			res := loadgen.Run(loadgen.Config{
+				Eng: tb.Eng, EP: clientSeg,
+				Gen:      wholeObjGen{cdn},
+				Client:   driver.NewKVClient(tb.Client, driver.SysCornflakes),
+				RatePerS: rate,
+				Warmup:   sim.Time(sc.WarmupMs) * sim.Millisecond,
+				Measure:  sim.Time(sc.MeasureMs) * sim.Millisecond,
+				Seed:     182,
+			})
+			return res, tb.Server.Core
+		}, 30_000)
+	}
+	forEach(sc.workers(), 2, func(i int) {
+		if i == 0 {
+			perSeg = measureA()
+		} else {
+			whole = measureB()
+		}
 	})
 	r.Rows = append(r.Rows, []string{
 		"per-sub-object (paper)", f2(perSeg.AchievedRps / 1000),
 		f1(perSeg.Latency.Quantile(0.99).Microseconds()),
 	})
-
-	// Arm B: whole objects over the segmentation layer.
-	whole := capacityOf(func(rate float64) (loadgen.Result, *sim.Core) {
-		tb := driver.NewTestbedCfg(nic.MellanoxCX6(), expCacheConfig())
-		srv := driver.NewSegmentedKVServer(tb.Server, driver.SysCornflakes)
-		srv.Preload(cdn.Records())
-		clientSeg := netstack.NewSegmenter(tb.Client.UDP)
-		res := loadgen.Run(loadgen.Config{
-			Eng: tb.Eng, EP: clientSeg,
-			Gen:      wholeObjGen{cdn},
-			Client:   driver.NewKVClient(tb.Client, driver.SysCornflakes),
-			RatePerS: rate,
-			Warmup:   sim.Time(sc.WarmupMs) * sim.Millisecond,
-			Measure:  sim.Time(sc.MeasureMs) * sim.Millisecond,
-			Seed:     182,
-		})
-		return res, tb.Server.Core
-	}, 30_000)
 	r.Rows = append(r.Rows, []string{
 		"segmented whole object", f2(whole.AchievedRps / 1000),
 		f1(whole.Latency.Quantile(0.99).Microseconds()),

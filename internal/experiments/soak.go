@@ -311,7 +311,7 @@ func bytesEqual(a, b []byte) bool {
 // invariant counts. Scale does not change the sweep — the scenario set IS
 // the contract — but Quick keeps per-scenario traffic small enough that
 // the whole sweep stays test-suite friendly.
-func Soak(Scale) *Report {
+func Soak(sc Scale) *Report {
 	r := &Report{
 		ID:    "soak",
 		Title: fmt.Sprintf("TCP-lite under %d seeded fault scenarios (loss/burst/reorder/dup/jitter/corrupt)", SoakScenarios),
@@ -328,14 +328,21 @@ func Soak(Scale) *Report {
 	capViolations := 0
 	unconserved := 0
 	var worstHeadroom int64
+	// Every (seed, workload) scenario is an independent simulation; run the
+	// whole grid concurrently, then aggregate in seed order so failure
+	// notes (and the report fingerprint) stay deterministic.
+	results := make([]SoakResult, SoakScenarios*len(order))
+	forEach(sc.workers(), len(results), func(i int) {
+		seed := uint64(i/len(order)) + 1
+		if order[i%len(order)] == "echo" {
+			results[i] = SoakEcho(seed)
+		} else {
+			results[i] = SoakKV(seed)
+		}
+	})
 	for seed := uint64(1); seed <= SoakScenarios; seed++ {
-		for _, w := range order {
-			var res SoakResult
-			if w == "echo" {
-				res = SoakEcho(seed)
-			} else {
-				res = SoakKV(seed)
-			}
+		for wi, w := range order {
+			res := results[int(seed-1)*len(order)+wi]
 			scenarios++
 			if res.PeakClient > res.CapClient || res.PeakServer > res.CapServer {
 				capViolations++

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cornflakes/internal/mem"
 	"cornflakes/internal/sim"
@@ -358,9 +360,42 @@ func Run(cfg Config) Result {
 // point plus the highest achieved load among points where achieved ≥ 95% of
 // offered (the paper's reporting rule).
 func Sweep(rates []float64, run func(rate float64) Result) (points []Result, best Result) {
-	for _, rate := range rates {
-		res := run(rate)
-		points = append(points, res)
+	return SweepN(rates, 1, run)
+}
+
+// SweepN is Sweep with the ladder points measured concurrently on up to
+// workers goroutines. Each call to run must be independent (every
+// experiment runner builds a fresh engine and testbed per point, so they
+// are); points come back in ladder order and the best-point selection runs
+// over that ordered slice, so the result is identical at any width.
+func SweepN(rates []float64, workers int, run func(rate float64) Result) (points []Result, best Result) {
+	points = make([]Result, len(rates))
+	if workers > len(rates) {
+		workers = len(rates)
+	}
+	if workers <= 1 {
+		for i, rate := range rates {
+			points[i] = run(rate)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for k := 0; k < workers; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(rates) {
+						return
+					}
+					points[i] = run(rates[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, res := range points {
 		if res.AchievedRps >= 0.95*res.OfferedRps && res.AchievedRps > best.AchievedRps {
 			best = res
 		}

@@ -68,6 +68,11 @@ type event struct {
 	// index within the heap, maintained by heap.Interface methods so that
 	// cancellation can remove an event in O(log n).
 	index int
+	// gen is bumped every time the event struct is recycled through the
+	// engine's free list, so a Timer holding a stale *event (one that fired
+	// or was cancelled, then reused for an unrelated callback) can detect
+	// the reuse and refuse to cancel someone else's event.
+	gen uint64
 }
 
 type eventHeap []*event
@@ -108,6 +113,11 @@ type Engine struct {
 	stopped bool
 	// processed counts events executed, for diagnostics and runaway guards.
 	processed uint64
+	// free is a per-engine free list of event structs. The engine is
+	// single-goroutine by contract, so a plain slice (no sync.Pool locking)
+	// makes steady-state scheduling allocation-free: every fired or
+	// cancelled event returns here and the next At reuses it.
+	free []*event
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -122,26 +132,39 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Timer identifies a scheduled event so it can be cancelled. The zero Timer
-// is invalid.
+// is invalid. The gen snapshot ties the Timer to one particular use of the
+// (recycled) event struct.
 type Timer struct {
-	e  *Engine
-	ev *event
+	e   *Engine
+	ev  *event
+	gen uint64
 }
 
 // Cancel removes the pending event. It reports whether the event was still
 // pending (false when it already fired or was cancelled before).
 func (t Timer) Cancel() bool {
-	if t.ev == nil || t.ev.index < 0 {
+	if t.ev == nil || t.ev.index < 0 || t.ev.gen != t.gen {
 		return false
 	}
 	heap.Remove(&t.e.events, t.ev.index)
-	t.ev.index = -1
+	t.e.recycle(t.ev)
 	return true
 }
 
 // Pending reports whether the timer's event has not yet fired or been
 // cancelled.
-func (t Timer) Pending() bool { return t.ev != nil && t.ev.index >= 0 }
+func (t Timer) Pending() bool { return t.ev != nil && t.ev.index >= 0 && t.ev.gen == t.gen }
+
+// recycle returns a fired or cancelled event to the free list. Bumping gen
+// invalidates every Timer that still points at the struct; dropping fn
+// releases the closure (and whatever it captures) immediately instead of
+// pinning it until the struct is reused.
+func (e *Engine) recycle(ev *event) {
+	ev.index = -1
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
 
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
 // it always indicates a modelling bug, and silently reordering time would
@@ -150,10 +173,18 @@ func (e *Engine) At(at Time, fn func()) Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = at, e.seq, fn
+	} else {
+		ev = &event{at: at, seq: e.seq, fn: fn}
+	}
 	e.seq++
 	heap.Push(&e.events, ev)
-	return Timer{e: e, ev: ev}
+	return Timer{e: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time.
@@ -176,7 +207,12 @@ func (e *Engine) Run() Time {
 		ev := heap.Pop(&e.events).(*event)
 		e.now = ev.at
 		e.processed++
-		ev.fn()
+		fn := ev.fn
+		// Recycle before firing: fn may schedule new events, and letting it
+		// reuse this struct immediately keeps the free list at its
+		// steady-state size.
+		e.recycle(ev)
+		fn()
 	}
 	return e.now
 }
@@ -193,7 +229,9 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		heap.Pop(&e.events)
 		e.now = ev.at
 		e.processed++
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 	}
 	if !e.stopped && e.now < deadline {
 		e.now = deadline

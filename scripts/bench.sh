@@ -1,0 +1,36 @@
+#!/bin/sh
+# Benchmark harness: runs the per-experiment benchmarks twice — serial
+# (CF_PARALLEL=1) and parallel (CF_PARALLEL=0 → GOMAXPROCS workers) — plus
+# the DES hot-path micro-benchmarks, and folds the results into a JSON perf
+# record via cmd/benchjson. The parallel-vs-serial ratio only exceeds ~1.0
+# on multi-core hosts (sweep points fan out across goroutines); the
+# allocs/op columns are deterministic on any host.
+#
+# Env knobs:
+#   BENCHTIME  go test -benchtime for the experiment passes (default 2x)
+#   OUT        output JSON path (default BENCH_5.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2x}"
+OUT="${OUT:-BENCH_5.json}"
+mkdir -p artifacts
+
+echo "== serial pass (CF_PARALLEL=1, benchtime=$BENCHTIME)"
+CF_PARALLEL=1 go test -run '^$' -bench '^Benchmark(Fig|Table|Ext)' \
+    -benchmem -benchtime "$BENCHTIME" . | tee artifacts/bench-serial.txt
+
+echo "== DES hot-path micro-benchmarks (serial only)"
+go test -run '^$' -bench '^Benchmark(EngineScheduleDispatch|CoreServeJob)$' \
+    -benchmem ./internal/sim | tee -a artifacts/bench-serial.txt
+
+echo "== parallel pass (CF_PARALLEL=0 -> GOMAXPROCS workers, benchtime=$BENCHTIME)"
+CF_PARALLEL=0 go test -run '^$' -bench '^Benchmark(Fig|Table|Ext)' \
+    -benchmem -benchtime "$BENCHTIME" . | tee artifacts/bench-parallel.txt
+
+echo "== fold into $OUT"
+go run ./cmd/benchjson \
+    -serial artifacts/bench-serial.txt \
+    -parallel artifacts/bench-parallel.txt \
+    -out "$OUT" \
+    -note "Quick scale; parallel pass uses GOMAXPROCS sweep workers, so speedup_parallel is ~1.0 on single-core hosts and grows with cores; reports are byte-identical at any width (fingerprint gate in scripts/check.sh)."

@@ -17,7 +17,13 @@ go test ./internal/experiments -run 'TestTraceGoldenExport|TestTraceProperties'
 echo "== batching determinism gate (burst cap 1 bit-identical to unbatched) + smoke"
 go test -short ./internal/experiments -run 'TestBatchingGoldenAtB1|TestBatchingSmoke'
 
-echo "== go test -race ./..."
+echo "== parallel-harness fingerprint gate (serial == parallel, byte-identical)"
+go test ./internal/experiments -run 'TestSerialParallelFingerprints|TestFingerprintSensitivity'
+
+echo "== zero-alloc hot-path pins (DES engine, core, meter, cache fill)"
+go test ./internal/sim ./internal/costmodel -run 'AllocFree|TestTimerStaleAfterRecycle'
+
+echo "== go test -race ./... (includes the parallel sweep smoke)"
 go test -race ./...
 
 echo "== check OK"
