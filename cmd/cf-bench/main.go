@@ -7,6 +7,7 @@
 //	cf-bench -exp all             # everything (takes a while)
 //	cf-bench -exp tab1 -quick     # reduced scale
 //	cf-bench -batch               # the batched-datapath sweep (-exp batching)
+//	cf-bench -cluster             # the multi-node scale-out grid (-exp cluster)
 //	cf-bench -exp fig7 -parallel 4  # fan sweep points across 4 goroutines
 //
 // -parallel (default GOMAXPROCS) only changes wall-clock: sweep points run
@@ -32,6 +33,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	batch := flag.Bool("batch", false, "shorthand for -exp batching (batched RX/TX datapath sweep)")
+	cluster := flag.Bool("cluster", false, "shorthand for -exp cluster (multi-node ToR-switch scale-out grid)")
 	quick := flag.Bool("quick", false, "reduced scale (faster, noisier)")
 	list := flag.Bool("list", false, "list experiment ids")
 	csvDir := flag.String("csv", "", "also write each report's table to <dir>/<id>.csv")
@@ -61,6 +63,9 @@ func main() {
 	sc.Workers = *parallel
 	if *batch {
 		*exp = "batching"
+	}
+	if *cluster {
+		*exp = "cluster"
 	}
 
 	done, total := 0, 1

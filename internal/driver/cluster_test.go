@@ -1,0 +1,212 @@
+package driver
+
+import (
+	"testing"
+
+	"cornflakes/internal/cachesim"
+	"cornflakes/internal/fabric"
+	"cornflakes/internal/loadgen"
+	"cornflakes/internal/nic"
+	"cornflakes/internal/sim"
+	"cornflakes/internal/workloads"
+)
+
+// idRecordingClient wraps a loadgen.Client and records every wire id built.
+type idRecordingClient struct {
+	loadgen.Client
+	ids []uint64
+}
+
+func (c *idRecordingClient) BuildStep(id uint64, req workloads.Request, step int) []byte {
+	c.ids = append(c.ids, id)
+	return c.Client.BuildStep(id, req, step)
+}
+
+func clusterGen(nKeys int) *workloads.YCSB {
+	return workloads.NewYCSBTheta(nKeys, 256, 2, 0.3)
+}
+
+func clusterCfg(c *ClusterTestbed, i int, cl loadgen.Client, gen workloads.Generator, rate float64, seed uint64) loadgen.Config {
+	return loadgen.Config{
+		Eng: c.Eng, EP: c.Clients[i].UDP,
+		Gen: gen, Client: cl,
+		RatePerS: rate,
+		Warmup:   sim.Millisecond / 2,
+		Measure:  2 * sim.Millisecond,
+		Seed:     seed + uint64(i),
+		ClientID: uint64(i + 1),
+		Retry: loadgen.RetryPolicy{
+			Deadline: 150 * sim.Microsecond, MaxRetries: 2,
+			Backoff: 20 * sim.Microsecond, MaxBackoff: 160 * sim.Microsecond,
+		},
+		ShedID: ShedID,
+	}
+}
+
+// TestClusterEndToEnd drives 2 clients against 2 shards through the switch
+// and checks routing, reply delivery, and exact per-client accounting.
+func TestClusterEndToEnd(t *testing.T) {
+	gen := clusterGen(300)
+	c := NewClusterTestbed(2, 2, SysCornflakes, nic.MellanoxCX6(), cachesim.DefaultConfig(), fabric.Config{})
+	c.Preload(gen.Records(), 1)
+
+	cfgs := make([]loadgen.Config, 2)
+	clients := make([]*ClusterKVClient, 2)
+	for i := range cfgs {
+		clients[i] = c.NewClient(i, SysCornflakes, 1)
+		cfgs[i] = clusterCfg(c, i, clients[i], gen, 40_000, 77)
+	}
+	results := loadgen.RunMany(cfgs)
+
+	var handled uint64
+	for _, srv := range c.Servers {
+		handled += srv.Handled
+	}
+	if handled == 0 {
+		t.Fatal("servers handled nothing")
+	}
+	for i, res := range results {
+		if res.Completed == 0 {
+			t.Errorf("client %d completed nothing", i)
+		}
+		if res.BadResponses != 0 {
+			t.Errorf("client %d: %d bad responses — replies crossed clients", i, res.BadResponses)
+		}
+		if got := res.Completed + res.Shed + res.TimedOut + res.Unresolved; got != res.Sent {
+			t.Errorf("client %d accounting: sent=%d resolved=%d", i, res.Sent, got)
+		}
+		if res.Unresolved != 0 {
+			t.Errorf("client %d: %d unresolved with retry policy on", i, res.Unresolved)
+		}
+		// Both shards must have been exercised by each client (theta=0.3
+		// over 300 keys cannot land on one shard only).
+		for s, n := range clients[i].Routed {
+			if n == 0 {
+				t.Errorf("client %d never routed to shard %d", i, s)
+			}
+		}
+	}
+	if c.Switch.Misrouted() != 0 {
+		t.Errorf("switch misrouted %d frames", c.Switch.Misrouted())
+	}
+	total := c.Switch.TotalStats()
+	if total.InFrames == 0 || total.OutFrames == 0 {
+		t.Error("no traffic crossed the switch")
+	}
+}
+
+// TestClusterWireIDsDisjoint pins the satellite-1 fix: concurrent clients'
+// wire ids live in disjoint ClientID<<48 spaces, so a reply or a trace
+// attribution can never name two flows at once.
+func TestClusterWireIDsDisjoint(t *testing.T) {
+	gen := clusterGen(200)
+	c := NewClusterTestbed(2, 2, SysCornflakes, nic.MellanoxCX6(), cachesim.DefaultConfig(), fabric.Config{})
+	c.Preload(gen.Records(), 1)
+
+	recs := make([]*idRecordingClient, 2)
+	cfgs := make([]loadgen.Config, 2)
+	for i := range cfgs {
+		recs[i] = &idRecordingClient{Client: c.NewClient(i, SysCornflakes, 1)}
+		cfgs[i] = clusterCfg(c, i, recs[i], gen, 30_000, 99)
+	}
+	loadgen.RunMany(cfgs)
+
+	seen := map[uint64]int{}
+	for i, rc := range recs {
+		if len(rc.ids) == 0 {
+			t.Fatalf("client %d built no requests", i)
+		}
+		base := uint64(i+1) << 48
+		for _, id := range rc.ids {
+			if id>>48 != uint64(i+1) {
+				t.Fatalf("client %d wire id %#x outside its space [%#x, %#x)", i, id, base, base+1<<48)
+			}
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("wire id %#x used by both client %d and client %d", id, prev, i)
+			}
+			seen[id] = i
+		}
+	}
+}
+
+// clusterClientResults runs a fixed 2-shard workload with nClients plugged
+// into the switch, where only the first two offer load; any further client
+// is a silent port — present in the topology but never started. Returns
+// the two active clients' results.
+func clusterClientResults(t *testing.T, nClients int) []loadgen.Result {
+	t.Helper()
+	gen := clusterGen(250)
+	c := NewClusterTestbed(2, nClients, SysCornflakes, nic.MellanoxCX6(), cachesim.DefaultConfig(), fabric.Config{})
+	c.Preload(gen.Records(), 1)
+	cfgs := make([]loadgen.Config, 2)
+	for i := range cfgs {
+		// Past two shards' combined capacity: queues build, deadlines
+		// fire, and the retry-jitter stream is genuinely exercised.
+		cfgs[i] = clusterCfg(c, i, c.NewClient(i, SysCornflakes, 1), gen, 1_800_000, 55)
+	}
+	return loadgen.RunMany(cfgs)
+}
+
+// TestClusterTopologyGrowthStable pins satellites 1+3 end to end: plugging
+// an extra (idle) client into the rack must not perturb the existing
+// clients' ids, retry jitter, or anything else — their results stay
+// bit-identical under topology growth.
+func TestClusterTopologyGrowthStable(t *testing.T) {
+	base := clusterClientResults(t, 2)
+	grown := clusterClientResults(t, 3)
+	for i := range base {
+		a, b := base[i], grown[i]
+		if a.Sent != b.Sent || a.Completed != b.Completed || a.Shed != b.Shed ||
+			a.TimedOut != b.TimedOut || a.Retries != b.Retries ||
+			a.LateResponses != b.LateResponses || a.P99() != b.P99() || a.P50() != b.P50() {
+			t.Errorf("client %d result changed when an idle client joined:\n  2 clients: %+v\n  3 clients: %+v", i, a, b)
+		}
+		if a.Retries == 0 {
+			t.Errorf("client %d saw no retries; the jitter stream went unexercised", i)
+		}
+		if a.Completed == 0 {
+			t.Errorf("client %d completed nothing; overload is too deep to be meaningful", i)
+		}
+	}
+}
+
+// TestClusterReadSpread checks R-way read spreading: with replicas=2 a
+// single hot key's reads split across two shards instead of one.
+func TestClusterReadSpread(t *testing.T) {
+	gen := clusterGen(100)
+	c := NewClusterTestbed(4, 1, SysCornflakes, nic.MellanoxCX6(), cachesim.DefaultConfig(), fabric.Config{})
+	c.Preload(gen.Records(), 2)
+
+	cl := c.NewClient(0, SysCornflakes, 2)
+	hot := workloads.Request{Op: workloads.OpGetList, Keys: [][]byte{gen.Records()[0].Key}}
+	for i := 0; i < 100; i++ {
+		cl.BuildStep(uint64(i), hot, 0)
+	}
+	touched := 0
+	for _, n := range cl.Routed {
+		if n > 0 {
+			touched++
+		}
+	}
+	if touched != 2 {
+		t.Errorf("hot key touched %d shards with R=2, want exactly 2 (routed=%v)", touched, cl.Routed)
+	}
+	// Writes must stay on the owner: a put of the same key routes one shard.
+	put := workloads.Request{Op: workloads.OpPut, Keys: hot.Keys, Vals: [][]byte{{1}}}
+	before := append([]uint64(nil), cl.Routed...)
+	for i := 0; i < 10; i++ {
+		cl.BuildStep(uint64(1000+i), put, 0)
+	}
+	putShards := 0
+	for s, n := range cl.Routed {
+		if n > before[s] {
+			putShards++
+			if s != c.Ring.Shard(hot.Keys[0]) {
+				t.Errorf("put routed to non-owner shard %d", s)
+			}
+		}
+	}
+	if putShards != 1 {
+		t.Errorf("puts touched %d shards, want 1", putShards)
+	}
+}

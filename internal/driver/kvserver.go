@@ -91,12 +91,14 @@ type KVServer struct {
 
 // batchedReq is one request parked in the batched datapath's software RX
 // ring, carrying the identity peeked at arrival and the arrival time so the
-// drainer can account its true queue wait.
+// drainer can account its true queue wait, plus the requester's fabric
+// address so the reply goes back through the right switch port.
 type batchedReq struct {
 	p      *mem.Buf
 	tid    uint64
 	traced bool
 	enq    sim.Time
+	src    byte
 }
 
 // NewKVServer attaches a KV server to the node's stack: UDP normally, or
@@ -187,8 +189,16 @@ func (s *KVServer) batched() bool {
 func (s *KVServer) PendingDepth() int { return len(s.rxq) + s.N.Core.QueueLen() }
 
 func (s *KVServer) onPayload(p *mem.Buf) {
+	// Capture the requester's fabric address now: by the time the core job
+	// runs (or the drainer reaches the request), later frames will have
+	// overwritten the stack's RxSrc. Zero outside a fabric topology.
+	var src byte
+	if s.N.UDP != nil {
+		src = s.N.UDP.RxSrc
+	}
 	if (s.ShedQueue > 0 && s.PendingDepth() >= s.ShedQueue) ||
 		(s.ShedWater > 0 && s.N.Alloc.Occupancy() >= s.ShedWater) {
+		s.setReplyAddr(src)
 		s.shed(p)
 		return
 	}
@@ -201,7 +211,7 @@ func (s *KVServer) onPayload(p *mem.Buf) {
 		tid, traced = s.reqID(p.Bytes())
 	}
 	if s.batched() {
-		s.enqueue(p, tid, traced)
+		s.enqueue(p, tid, traced, src)
 		return
 	}
 	ok := s.N.Core.Submit(sim.Job{
@@ -211,6 +221,7 @@ func (s *KVServer) onPayload(p *mem.Buf) {
 			}
 		},
 		Run: func() sim.Time {
+			s.setReplyAddr(src)
 			s.handle(p, tid, traced)
 			return s.N.Meter.DrainTime()
 		},
@@ -227,7 +238,7 @@ func (s *KVServer) onPayload(p *mem.Buf) {
 // job is pending. The ring honours the same bound as the core queue
 // (Core.MaxQueue — the RX descriptor ring depth), with overflow counted in
 // the same Dropped stat.
-func (s *KVServer) enqueue(p *mem.Buf, tid uint64, traced bool) {
+func (s *KVServer) enqueue(p *mem.Buf, tid uint64, traced bool, src byte) {
 	c := s.N.Core
 	if c.MaxQueue > 0 && len(s.rxq) >= c.MaxQueue {
 		c.NoteDrop()
@@ -237,8 +248,17 @@ func (s *KVServer) enqueue(p *mem.Buf, tid uint64, traced bool) {
 		p.DecRef()
 		return
 	}
-	s.rxq = append(s.rxq, batchedReq{p: p, tid: tid, traced: traced, enq: s.N.Eng.Now()})
+	s.rxq = append(s.rxq, batchedReq{p: p, tid: tid, traced: traced, enq: s.N.Eng.Now(), src: src})
 	s.armDrainer()
+}
+
+// setReplyAddr points the stack's next sends at the requester's fabric
+// address. Outside a fabric topology src is always zero, leaving the
+// header bytes exactly as single-link testbeds always wrote them.
+func (s *KVServer) setReplyAddr(src byte) {
+	if s.N.UDP != nil {
+		s.N.UDP.DstAddr = src
+	}
 }
 
 // armDrainer submits one drainer job unless one is already pending. The
@@ -290,6 +310,10 @@ func (s *KVServer) drain() sim.Time {
 				s.Trace.Note(r.tid, fmt.Sprintf("batched: burst=%d pos=%d", b, i))
 			}
 		}
+		// Reply headers are written at send time inside handle, so pointing
+		// the stack at this request's source here is sufficient even though
+		// the TX batch flushes after the burst.
+		s.setReplyAddr(r.src)
 		s.handle(r.p, r.tid, r.traced)
 		d := m.DrainTime()
 		cum += d

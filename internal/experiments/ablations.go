@@ -127,9 +127,11 @@ func Tab5(sc Scale) *Report {
 			w.name, f1(with / 1000), f1(without / 1000), fmt.Sprintf("%+.1f%%", g),
 		})
 	}
+	// Iterate the workload list, not the map: check evidence must never
+	// depend on map order.
 	allPositive := true
-	for _, g := range gains {
-		if g <= 0 {
+	for _, w := range wls {
+		if gains[w.name] <= 0 {
 			allPositive = false
 		}
 	}

@@ -38,5 +38,8 @@ func All() map[string]func(Scale) *Report {
 		// Datapath: the batched RX/TX sweep — burst cap × offered load, with
 		// the adaptive-burst and doorbell-amortization contracts checked.
 		"batching": Batching,
+		// Scale-out: the sharded rack behind a simulated ToR switch —
+		// node-count × per-node-load grid with hot-shard skew checks.
+		"cluster": Cluster,
 	}
 }

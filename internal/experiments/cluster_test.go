@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestClusterSmoke is the CI smoke point: one small rack — 2 shards, 2
+// clients, a light balanced load — end to end through the switch. It
+// stays in -short runs (scripts/check.sh) so the fabric datapath is
+// always exercised even when the full grid is skipped.
+func TestClusterSmoke(t *testing.T) {
+	t.Parallel()
+	sc := Quick()
+	p := ClusterAt(sc, 2, sc.StoreKeys, 100_000, clusterBalancedTheta, 1, 5)
+	var done, bad uint64
+	for _, res := range p.Results {
+		done += res.Completed
+		bad += res.BadResponses
+	}
+	if done == 0 || bad != 0 {
+		t.Fatalf("completed=%d bad=%d", done, bad)
+	}
+	if p.Misrouted != 0 {
+		t.Errorf("switch misrouted %d frames", p.Misrouted)
+	}
+	if !p.accountingExact() {
+		t.Error("per-client accounting does not add up")
+	}
+	for s, h := range p.Handled {
+		if h == 0 {
+			t.Errorf("shard %d handled nothing; ring routing is degenerate", s)
+		}
+	}
+}
+
+// TestCluster runs the full experiment at test scale and requires every
+// check — scaling, hot-shard tail, read-spread relief, routing,
+// accounting — to pass.
+func TestCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full node-count × load grid; skipped in -short")
+	}
+	t.Parallel()
+	r := Cluster(Quick())
+	for _, f := range r.Failed() {
+		t.Errorf("check failed: %s", f)
+	}
+	if len(r.Rows) == 0 {
+		t.Error("report has no rows")
+	}
+}

@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"sort"
+	"testing"
+)
 
 // TestSerialParallelFingerprints is the determinism gate for the parallel
 // sweep harness: running an experiment serially and with a multi-worker
@@ -13,40 +16,44 @@ func TestSerialParallelFingerprints(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep pair per experiment; skipped in -short")
 	}
-	cases := []struct {
-		id    string
-		trace bool
-	}{
-		// fig9 exercises the TCP stack, overload the shedding/retry layer
-		// (with a traced run so artifact bytes are pinned too), batching
-		// the batched RX/TX grid plus its own fingerprint rerun.
-		{"fig9", false},
-		{"overload", true},
-		{"batching", true},
+	// Three experiments run at Quick scale for depth: fig9 exercises the
+	// TCP stack, overload the shedding/retry layer (with a traced run so
+	// artifact bytes are pinned too), batching the batched RX/TX grid plus
+	// its own fingerprint rerun. Everything else in the registry —
+	// including cluster's multi-client racks — runs at a reduced scale so
+	// the whole registry stays covered without hours of sweep time.
+	deep := map[string]bool{"fig9": true, "overload": true, "batching": true}
+	traced := map[string]bool{"overload": true, "batching": true}
+	tiny := Scale{StoreKeys: 200, MeasureMs: 2, WarmupMs: 1, SweepPoints: 2, Cores: 4}
+
+	ids := make([]string, 0, len(All()))
+	for id := range All() {
+		ids = append(ids, id)
 	}
-	for _, tc := range cases {
-		tc := tc
-		t.Run(tc.id, func(t *testing.T) {
+	sort.Strings(ids)
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
 			t.Parallel()
-			fn := All()[tc.id]
-			if fn == nil {
-				t.Fatalf("unknown experiment %q", tc.id)
+			fn := All()[id]
+			serial := tiny
+			if deep[id] {
+				serial = Quick()
 			}
-			serial := Quick()
-			serial.Trace = tc.trace
+			serial.Trace = traced[id]
 			parallel := serial
 			parallel.Workers = 4
 
 			repS := fn(serial)
 			repP := fn(parallel)
 			if fpS, fpP := repS.Fingerprint(), repP.Fingerprint(); fpS != fpP {
-				t.Errorf("%s: serial fingerprint %016x != parallel %016x", tc.id, fpS, fpP)
+				t.Errorf("%s: serial fingerprint %016x != parallel %016x", id, fpS, fpP)
 				if s, p := repS.String(), repP.String(); s != p {
 					t.Logf("serial report:\n%s\nparallel report:\n%s", s, p)
 				}
 				for name, data := range repS.Artifacts {
 					if string(repP.Artifacts[name]) != string(data) {
-						t.Errorf("%s: artifact %s differs between serial and parallel", tc.id, name)
+						t.Errorf("%s: artifact %s differs between serial and parallel", id, name)
 					}
 				}
 			}

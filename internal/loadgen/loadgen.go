@@ -96,6 +96,14 @@ type Config struct {
 	// attempt's wire id so the instrumented transport layers (NIC observer,
 	// server dispatch) can attribute their marks to the owning flow.
 	Tracer *trace.Tracer
+
+	// ClientID distinguishes concurrent load generators sharing one engine
+	// (a cluster run). Client c's wire ids live in [c<<48, (c+1)<<48), so
+	// replies and trace attributions can never collide across clients, and
+	// the retry-jitter PRNG is forked per client so adding a node to a
+	// topology never perturbs another client's random sequence. Zero — a
+	// solo run — preserves the historical id and jitter streams bit for bit.
+	ClientID uint64
 }
 
 // Result summarises one run. With the retry policy enabled the accounting
@@ -164,11 +172,37 @@ type flow struct {
 	tr *trace.Flow
 }
 
+// Runner is one in-flight load generation run. Start schedules all of a
+// run's activity on the engine and returns immediately; the caller drives
+// the engine (to at least Horizon()) and then calls Finish. This split lets
+// a cluster testbed start M clients on one shared engine, run the engine
+// once, and collect every client's result — Run composes the two for the
+// historical single-client call shape.
+type Runner struct {
+	cfg       Config
+	res       Result
+	flows     map[uint64]*flow
+	respBytes uint64
+	horizon   sim.Time
+}
+
 // Run executes one open-loop run and returns the measured result.
 func Run(cfg Config) Result {
+	ru := Start(cfg)
+	cfg.Eng.RunUntil(ru.Horizon())
+	return ru.Finish()
+}
+
+// Start schedules one open-loop run on cfg.Eng and returns its Runner.
+func Start(cfg Config) *Runner {
 	eng := cfg.Eng
 	r := rand.New(rand.NewPCG(cfg.Seed, 0x10AD))
-	res := Result{OfferedRps: cfg.RatePerS, Latency: NewHistogram()}
+	ru := &Runner{
+		cfg:   cfg,
+		res:   Result{OfferedRps: cfg.RatePerS, Latency: NewHistogram()},
+		flows: map[uint64]*flow{},
+	}
+	res := &ru.res
 
 	interarrival := func() sim.Time {
 		// Exponential interarrival for a Poisson process.
@@ -180,15 +214,19 @@ func Run(cfg Config) Result {
 	}
 
 	var (
-		nextID     uint64
-		flows      = map[uint64]*flow{}
+		nextID     = cfg.ClientID << 48
+		flows      = ru.flows
 		expired    = map[uint64]bool{} // ids whose flow ended or was re-sent
-		respBytes  uint64
 		measureEnd = cfg.Warmup + cfg.Measure
 		// jitter is independent of the workload stream so enabling retries
-		// does not perturb which requests are generated.
+		// does not perturb which requests are generated. Each cluster client
+		// forks its own sub-stream off the shared label space; a solo run
+		// (ClientID 0) keeps the historical root stream.
 		jitter = sim.NewRand(cfg.Seed ^ 0xBACC0FF)
 	)
+	if cfg.ClientID != 0 {
+		jitter = jitter.Fork(cfg.ClientID)
+	}
 
 	var sendStep func(f *flow)
 	sendStep = func(f *flow) {
@@ -284,7 +322,7 @@ func Run(cfg Config) Result {
 		if f.step < cfg.Client.Steps(f.req) {
 			sendStep(f)
 			if f.measured {
-				respBytes += uint64(p.Len())
+				ru.respBytes += uint64(p.Len())
 			}
 			return
 		}
@@ -294,7 +332,7 @@ func Run(cfg Config) Result {
 			// (sent == completed + shed + timed-out). Without it, the
 			// historical window-only semantics are preserved.
 			res.Completed++
-			respBytes += uint64(p.Len())
+			ru.respBytes += uint64(p.Len())
 			res.Latency.Record(now - f.start)
 		}
 		cfg.Tracer.EndFlow(f.tr, now, trace.OutcomeCompleted)
@@ -317,11 +355,11 @@ func Run(cfg Config) Result {
 	}
 	eng.After(interarrival(), arrive)
 
-	// Run to the end of the measurement window plus a drain period so
-	// in-flight responses are counted. With retries enabled the drain must
-	// cover the worst-case ladder of a request issued at the window's edge:
-	// every attempt's deadline plus every capped backoff (jitter adds at
-	// most half a backoff each).
+	// The run is complete at the end of the measurement window plus a drain
+	// period so in-flight responses are counted. With retries enabled the
+	// drain must cover the worst-case ladder of a request issued at the
+	// window's edge: every attempt's deadline plus every capped backoff
+	// (jitter adds at most half a backoff each).
 	drain := 2 * sim.Millisecond
 	if cfg.Retry.enabled() {
 		worst := cfg.Retry.Deadline
@@ -331,29 +369,67 @@ func Run(cfg Config) Result {
 		}
 		drain += worst
 	}
-	eng.RunUntil(measureEnd + drain)
+	ru.horizon = measureEnd + drain
+	return ru
+}
+
+// Horizon returns the virtual time the engine must reach before Finish:
+// the measurement window plus the run's drain period.
+func (ru *Runner) Horizon() sim.Time { return ru.horizon }
+
+// Finish sweeps abandoned flows and computes the run's rates. Call it once,
+// after the engine has run to at least Horizon().
+func (ru *Runner) Finish() Result {
+	cfg, res := ru.cfg, &ru.res
 
 	// Whatever is still pending went neither way; with timeouts enabled
 	// the drain window above guarantees this is empty. Iterate in sorted id
 	// order so the tracer's abandonment records — and therefore a trace
 	// export — stay deterministic.
-	ids := make([]uint64, 0, len(flows))
-	for id := range flows {
+	ids := make([]uint64, 0, len(ru.flows))
+	for id := range ru.flows {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		f := flows[id]
+		f := ru.flows[id]
 		if f.measured {
 			res.Unresolved++
 		}
-		cfg.Tracer.EndFlow(f.tr, eng.Now(), trace.OutcomeAbandoned)
+		cfg.Tracer.EndFlow(f.tr, cfg.Eng.Now(), trace.OutcomeAbandoned)
 	}
 
 	res.SentRps = float64(res.Sent) / cfg.Measure.Seconds()
 	res.AchievedRps = float64(res.Completed) / cfg.Measure.Seconds()
-	res.AchievedGbps = float64(respBytes) * 8 / cfg.Measure.Seconds() / 1e9
-	return res
+	res.AchievedGbps = float64(ru.respBytes) * 8 / cfg.Measure.Seconds() / 1e9
+	return ru.res
+}
+
+// RunMany executes several runs concurrently on one shared engine: every
+// config is started, the engine is driven once to the latest horizon, and
+// each run is finished. All configs must share the same Eng; give each a
+// distinct ClientID so wire-id spaces and retry-jitter streams stay
+// disjoint across the clients.
+func RunMany(cfgs []Config) []Result {
+	if len(cfgs) == 0 {
+		return nil
+	}
+	runners := make([]*Runner, len(cfgs))
+	for i, cfg := range cfgs {
+		runners[i] = Start(cfg)
+	}
+	var horizon sim.Time
+	for _, ru := range runners {
+		if ru.Horizon() > horizon {
+			horizon = ru.Horizon()
+		}
+	}
+	cfgs[0].Eng.RunUntil(horizon)
+	out := make([]Result, len(runners))
+	for i, ru := range runners {
+		out[i] = ru.Finish()
+	}
+	return out
 }
 
 // Sweep runs the given run function across offered loads and returns every

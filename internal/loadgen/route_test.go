@@ -1,0 +1,91 @@
+package loadgen
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 4, 20000
+	r := NewRing(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		s := r.Shard([]byte(fmt.Sprintf("user%026d", i)))
+		if s < 0 || s >= shards {
+			t.Fatalf("shard %d out of range", s)
+		}
+		counts[s]++
+	}
+	want := keys / shards
+	for s, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("shard %d owns %d keys, want ≈%d", s, c, want)
+		}
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a, b := NewRing(8, 32), NewRing(8, 32)
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if a.Shard(k) != b.Shard(k) {
+			t.Fatalf("ring not deterministic for %q", k)
+		}
+	}
+}
+
+func TestRingReplicas(t *testing.T) {
+	r := NewRing(5, 16)
+	var scratch []int
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("rep-key-%d", i))
+		scratch = r.Replicas(scratch[:0], k, 3)
+		if len(scratch) != 3 {
+			t.Fatalf("replicas = %v, want 3 shards", scratch)
+		}
+		if scratch[0] != r.Shard(k) {
+			t.Fatalf("first replica %d is not the owner %d", scratch[0], r.Shard(k))
+		}
+		seen := map[int]bool{}
+		for _, s := range scratch {
+			if seen[s] {
+				t.Fatalf("duplicate shard in replicas %v", scratch)
+			}
+			seen[s] = true
+		}
+	}
+	// R clamps to the shard count, and R<1 means primary only.
+	if got := r.Replicas(nil, []byte("x"), 99); len(got) != 5 {
+		t.Errorf("R=99 gave %d replicas, want 5", len(got))
+	}
+	if got := r.Replicas(nil, []byte("x"), 0); len(got) != 1 {
+		t.Errorf("R=0 gave %d replicas, want 1", len(got))
+	}
+}
+
+// Consistent hashing's defining property: growing the ring moves only a
+// small fraction of keys (≈1/(n+1)), unlike mod-n hashing which moves
+// nearly all of them.
+func TestRingGrowthMovesFewKeys(t *testing.T) {
+	const keys = 10000
+	r4, r5 := NewRing(4, 64), NewRing(5, 64)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := []byte(fmt.Sprintf("grow-key-%d", i))
+		if r4.Shard(k) != r5.Shard(k) {
+			moved++
+		}
+	}
+	if frac := float64(moved) / keys; frac > 0.35 {
+		t.Errorf("growing 4→5 shards moved %v of keys, want ≈0.20", frac)
+	}
+}
+
+func TestRingInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRing(0, 1) accepted")
+		}
+	}()
+	NewRing(0, 1)
+}

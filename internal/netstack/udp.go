@@ -25,6 +25,11 @@ import (
 const (
 	// PacketHeaderLen is Ethernet (14) + IPv4 (20) + UDP (8).
 	PacketHeaderLen = 42
+	// HdrDstOff/HdrSrcOff locate the fabric addresses inside the packet
+	// header (standing in for destination/source IP). A switch routes on
+	// the destination byte without parsing past the header.
+	HdrDstOff = 1
+	HdrSrcOff = 2
 	// JumboFrame is the maximum frame size; the paper targets data
 	// structures that fit in one jumbo frame (§2.1).
 	JumboFrame = 9000
@@ -47,6 +52,16 @@ type UDP struct {
 	Port  *nic.Port
 	Alloc *mem.Allocator
 	Meter *costmodel.Meter
+
+	// LocalAddr and DstAddr are fabric port addresses stamped into every
+	// outgoing packet header (HdrSrcOff/HdrDstOff): LocalAddr identifies
+	// this endpoint, DstAddr selects the switch egress for the next send.
+	// Both default to zero, which leaves the header bytes exactly as the
+	// single-link testbeds always wrote them — no fabric, no change.
+	LocalAddr, DstAddr byte
+	// RxSrc is the source address of the frame most recently delivered to
+	// the recv handler; servers read it to address their reply.
+	RxSrc byte
 
 	// recv is invoked for each delivered payload, already placed in a
 	// pinned RX buffer (the NIC DMA-writes received frames into pre-posted
@@ -114,6 +129,7 @@ func (u *UDP) onFrame(f *nic.Frame) {
 		}
 		return // runt frame
 	}
+	u.RxSrc = f.Data[HdrSrcOff]
 	payload := f.Data[PacketHeaderLen:]
 	buf, err := u.Alloc.TryAlloc(len(payload))
 	if err != nil {
@@ -150,6 +166,8 @@ func (u *UDP) txPrep(n int) (*mem.Buf, error) {
 		hdr[i] = 0
 	}
 	hdr[0] = 0x42 // marker: a real stack writes MACs/IPs/ports here
+	hdr[HdrDstOff] = u.DstAddr
+	hdr[HdrSrcOff] = u.LocalAddr
 	m.Charge(m.CPU.PktHeaderCy)
 	m.Access(buf.SimAddr(), PacketHeaderLen)
 	return buf, nil
@@ -473,6 +491,8 @@ func (u *UDP) SendPrebuilt(payload []byte, sim uint64) error {
 		hdr[i] = 0
 	}
 	hdr[0] = 0x42
+	hdr[HdrDstOff] = u.DstAddr
+	hdr[HdrSrcOff] = u.LocalAddr
 	m.Charge((m.CPU.DMABufAllocCy + m.CPU.TxDescCy + m.CPU.CompletionCy) / prebuiltBatch)
 	m.Copy(sim, buf.SimAddr()+PacketHeaderLen, len(payload))
 	copy(buf.Bytes()[PacketHeaderLen:], payload)

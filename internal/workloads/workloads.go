@@ -78,11 +78,18 @@ type YCSB struct {
 
 // NewYCSB builds the workload. Key width is 30 bytes as in the paper.
 func NewYCSB(nKeys, segmentSize, nSegments int) *YCSB {
+	return NewYCSBTheta(nKeys, segmentSize, nSegments, 0.99)
+}
+
+// NewYCSBTheta is NewYCSB with an explicit Zipf skew. The cluster
+// experiment contrasts a near-uniform popularity (low theta) against the
+// paper's 0.99 to isolate hot-shard effects from serialization effects.
+func NewYCSBTheta(nKeys, segmentSize, nSegments int, theta float64) *YCSB {
 	return &YCSB{
 		NKeys:       nKeys,
 		SegmentSize: segmentSize,
 		NSegments:   nSegments,
-		zipf:        NewZipf(uint64(nKeys), 0.99),
+		zipf:        NewZipf(uint64(nKeys), theta),
 	}
 }
 

@@ -52,7 +52,13 @@ func (z *Zipf) Next(r *rand.Rand) uint64 {
 	if uz < 1+math.Pow(0.5, z.theta) {
 		return 1
 	}
-	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	rank := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		// For u within one ulp of 1, eta*u-eta+1 rounds to exactly 1.0 and
+		// the product lands on n, one past the valid range.
+		rank = z.n - 1
+	}
+	return rank
 }
 
 // SizeDist is a piecewise-uniform size distribution defined by CDF points:

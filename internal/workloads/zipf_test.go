@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// maxSource drives rand.Float64 to its largest representable value
+// ((2^53-1)/2^53), the edge where the YCSB formula can round to rank n.
+type maxSource struct{}
+
+func (maxSource) Uint64() uint64 { return ^uint64(0) }
+
+func TestZipfMaxUniformStaysInRange(t *testing.T) {
+	r := rand.New(maxSource{})
+	for _, n := range []uint64{1, 2, 3, 10, 1000, 1 << 20} {
+		z := NewZipf(n, 0.99)
+		for i := 0; i < 4; i++ {
+			if rank := z.Next(r); rank >= n {
+				t.Fatalf("n=%d: rank %d out of range at u≈1", n, rank)
+			}
+		}
+	}
+}
+
+func TestZipfSingleKey(t *testing.T) {
+	z := NewZipf(1, 0.99)
+	r := rand.New(rand.NewPCG(21, 21))
+	for i := 0; i < 1000; i++ {
+		if rank := z.Next(r); rank != 0 {
+			t.Fatalf("n=1 must always sample rank 0, got %d", rank)
+		}
+	}
+}
+
+func TestZipfSmallN(t *testing.T) {
+	for _, n := range []uint64{2, 3, 5} {
+		z := NewZipf(n, 0.99)
+		r := rand.New(rand.NewPCG(22, 22))
+		counts := make([]int, n)
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			rank := z.Next(r)
+			if rank >= n {
+				t.Fatalf("n=%d: rank %d out of range", n, rank)
+			}
+			counts[rank]++
+		}
+		for rank, c := range counts {
+			if c == 0 {
+				t.Errorf("n=%d: rank %d never sampled", n, rank)
+			}
+			if rank > 0 && counts[rank] > counts[0] {
+				t.Errorf("n=%d: rank %d (%d) more popular than rank 0 (%d)",
+					n, rank, counts[rank], counts[0])
+			}
+		}
+	}
+}
+
+// Rank-frequency on a log-log scale should be a line of slope ≈ -theta:
+// p(rank) ∝ rank^-theta is the defining property of the generator.
+func TestZipfRankFrequencySlope(t *testing.T) {
+	for _, theta := range []float64{0.6, 0.8, 0.99} {
+		const n = 1000
+		z := NewZipf(n, theta)
+		r := rand.New(rand.NewPCG(23, 23))
+		counts := make([]int, n)
+		const draws = 400000
+		for i := 0; i < draws; i++ {
+			counts[z.Next(r)]++
+		}
+		// Least-squares fit of log(count) vs log(rank) over the head, where
+		// counts are large enough for sampling noise to be small.
+		var sx, sy, sxx, sxy float64
+		m := 0
+		for rank := 0; rank < 100; rank++ {
+			if counts[rank] < 10 {
+				continue
+			}
+			x := math.Log(float64(rank + 1))
+			y := math.Log(float64(counts[rank]))
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+			m++
+		}
+		slope := (float64(m)*sxy - sx*sy) / (float64(m)*sxx - sx*sx)
+		if math.Abs(slope+theta) > 0.12 {
+			t.Errorf("theta=%v: rank-frequency slope = %v, want ≈ %v", theta, slope, -theta)
+		}
+	}
+}
+
+// The identity of the hot keys is a property of the distribution, not the
+// seed: any seed must agree on which ranks dominate. The cluster hot-shard
+// check leans on this — shard 0 stays hot no matter the per-client seeds.
+func TestZipfHotSetStableUnderReseeding(t *testing.T) {
+	const n = 500
+	z := NewZipf(n, 0.99)
+	for _, seed := range []uint64{1, 7, 99, 12345} {
+		r := rand.New(rand.NewPCG(seed, seed^0xABCD))
+		counts := make([]int, n)
+		const draws = 120000
+		for i := 0; i < draws; i++ {
+			counts[z.Next(r)]++
+		}
+		for rank := 1; rank < 3; rank++ {
+			if counts[rank] >= counts[rank-1] {
+				t.Errorf("seed %d: rank %d (%d) out-drew rank %d (%d)",
+					seed, rank, counts[rank], rank-1, counts[rank-1])
+			}
+		}
+		top3 := counts[0] + counts[1] + counts[2]
+		for rank := 3; rank < n; rank++ {
+			if counts[rank] > counts[2] {
+				t.Errorf("seed %d: rank %d (%d) broke into the top-3 (3rd = %d)",
+					seed, rank, counts[rank], counts[2])
+			}
+		}
+		if frac := float64(top3) / draws; frac < 0.15 {
+			t.Errorf("seed %d: top-3 fraction = %v, want > 0.15", seed, frac)
+		}
+	}
+}
+
+func TestYCSBTheta(t *testing.T) {
+	y := NewYCSBTheta(400, 256, 2, 0.2)
+	if y.Name() != "ycsb-256x2" {
+		t.Errorf("name = %q", y.Name())
+	}
+	r := rand.New(rand.NewPCG(31, 31))
+	counts := map[string]int{}
+	const draws = 80000
+	for i := 0; i < draws; i++ {
+		counts[string(y.Next(r).Keys[0])]++
+	}
+	// theta=0.2 over 400 keys is near-uniform: no key should take even 2%.
+	for k, c := range counts {
+		if frac := float64(c) / draws; frac > 0.02 {
+			t.Errorf("theta=0.2 key %q got %v of traffic, want near-uniform", k, frac)
+		}
+	}
+}

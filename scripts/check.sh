@@ -17,7 +17,11 @@ go test ./internal/experiments -run 'TestTraceGoldenExport|TestTraceProperties'
 echo "== batching determinism gate (burst cap 1 bit-identical to unbatched) + smoke"
 go test -short ./internal/experiments -run 'TestBatchingGoldenAtB1|TestBatchingSmoke'
 
-echo "== parallel-harness fingerprint gate (serial == parallel, byte-identical)"
+echo "== cluster fabric smoke (2-shard rack end to end through the ToR switch)"
+go test -short ./internal/experiments -run 'TestClusterSmoke'
+go test -short ./internal/driver -run 'TestClusterEndToEnd|TestClusterWireIDsDisjoint|TestClusterTopologyGrowthStable'
+
+echo "== parallel-harness fingerprint gate (serial == parallel across every experiment, cluster included)"
 go test ./internal/experiments -run 'TestSerialParallelFingerprints|TestFingerprintSensitivity'
 
 echo "== zero-alloc hot-path pins (DES engine, core, meter, cache fill)"
