@@ -19,7 +19,7 @@ check-fast:
 test:
 	go test -short ./...
 
-# Serial + parallel benchmark passes folded into BENCH_6.json (see
+# Serial + parallel benchmark passes folded into BENCH_7.json (see
 # scripts/bench.sh; BENCHTIME/OUT env knobs). `make bench-raw` keeps the
 # old direct run.
 bench:

@@ -30,7 +30,7 @@ import (
 //
 // Sweep fan-out follows CF_PARALLEL: unset (or 0) uses GOMAXPROCS workers,
 // CF_PARALLEL=1 forces the serial path. scripts/bench.sh runs the suite
-// both ways and records the ratio in BENCH_6.json; the reports themselves
+// both ways and records the ratio in BENCH_7.json; the reports themselves
 // are byte-identical at every width (see determinism_test.go).
 func benchExperiment(b *testing.B, id string) {
 	fn, ok := experiments.All()[id]
@@ -69,6 +69,7 @@ func BenchmarkExtArenaAblation(b *testing.B)       { benchExperiment(b, "ext-are
 func BenchmarkExtSegmentation(b *testing.B)        { benchExperiment(b, "ext-segment") }
 func BenchmarkExtMulticoreKV(b *testing.B)         { benchExperiment(b, "ext-multicore") }
 func BenchmarkClusterScaleout(b *testing.B)        { benchExperiment(b, "cluster") }
+func BenchmarkChaosFaults(b *testing.B)            { benchExperiment(b, "chaos") }
 
 // --- Library micro-benchmarks: real wall-clock cost of this Go
 // implementation (the virtual-time substrate measures the modelled system;

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchjson -serial serial.txt -parallel parallel.txt -out BENCH_6.json
+//	benchjson -serial serial.txt -parallel parallel.txt -out BENCH_7.json
 package main
 
 import (

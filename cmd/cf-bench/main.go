@@ -8,6 +8,7 @@
 //	cf-bench -exp tab1 -quick     # reduced scale
 //	cf-bench -batch               # the batched-datapath sweep (-exp batching)
 //	cf-bench -cluster             # the multi-node scale-out grid (-exp cluster)
+//	cf-bench -chaos               # crash/flap/gray fault scenarios (-exp chaos)
 //	cf-bench -exp fig7 -parallel 4  # fan sweep points across 4 goroutines
 //
 // -parallel (default GOMAXPROCS) only changes wall-clock: sweep points run
@@ -34,6 +35,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	batch := flag.Bool("batch", false, "shorthand for -exp batching (batched RX/TX datapath sweep)")
 	cluster := flag.Bool("cluster", false, "shorthand for -exp cluster (multi-node ToR-switch scale-out grid)")
+	chaos := flag.Bool("chaos", false, "shorthand for -exp chaos (node crash/recovery, port flaps, gray failure)")
 	quick := flag.Bool("quick", false, "reduced scale (faster, noisier)")
 	list := flag.Bool("list", false, "list experiment ids")
 	csvDir := flag.String("csv", "", "also write each report's table to <dir>/<id>.csv")
@@ -66,6 +68,9 @@ func main() {
 	}
 	if *cluster {
 		*exp = "cluster"
+	}
+	if *chaos {
+		*exp = "chaos"
 	}
 
 	done, total := 0, 1

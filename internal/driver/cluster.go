@@ -3,11 +3,19 @@ package driver
 import (
 	"cornflakes/internal/cachesim"
 	"cornflakes/internal/fabric"
+	"cornflakes/internal/faults"
 	"cornflakes/internal/loadgen"
 	"cornflakes/internal/netstack"
 	"cornflakes/internal/nic"
 	"cornflakes/internal/sim"
 	"cornflakes/internal/workloads"
+)
+
+// The chaos layer drives the topology through these interfaces; keep the
+// implementations honest at compile time.
+var (
+	_ faults.FaultNode = (*KVServer)(nil)
+	_ faults.PortAdmin = (*fabric.Switch)(nil)
 )
 
 // ClusterTestbed is the topology composer behind the cluster experiments:
@@ -75,6 +83,100 @@ func (c *ClusterTestbed) Preload(recs []workloads.KV, replicas int) {
 	}
 }
 
+// FaultNodes exposes the shards as the fault surface a
+// faults.NodeFaultPlan drives: ScheduleNodePlan(eng, plan, tb.FaultNodes(),
+// tb.Switch) arms a whole chaos scenario against this testbed.
+func (c *ClusterTestbed) FaultNodes() []faults.FaultNode {
+	nodes := make([]faults.FaultNode, len(c.Servers))
+	for i, s := range c.Servers {
+		nodes[i] = s
+	}
+	return nodes
+}
+
+// FrameLedger sums every frame counter in the topology, stage by stage, so
+// a chaos scenario can prove no frame was lost silently: every posted
+// frame must be accounted as delivered, wire-dropped, FCS-discarded,
+// downed-port-discarded, switch-tail-dropped, misrouted, or host-down
+// dropped. "Up" is endpoint→switch, "Down" is switch→endpoint.
+type FrameLedger struct {
+	// Up direction, summed over all endpoint NICs.
+	EndpointTx  uint64 // frames posted by endpoints
+	UpDelivered uint64 // reached the switch NIC intact
+	UpDropped   uint64 // lost on the up wire (injector)
+	UpFCS       uint64 // corrupted on the up wire, discarded by the switch NIC
+
+	// Inside the switch.
+	SwitchIn      uint64 // frames the switch ingressed
+	DownedIngress uint64 // arrived on an admin-down port
+	Misrouted     uint64 // no route for the destination byte
+	SwitchOut     uint64 // forwarded onto an egress link
+	EgressDrops   uint64 // tail-dropped at a full output queue
+	DownedEgress  uint64 // egress port was admin-down
+
+	// Down direction, summed over all switch-side link ports.
+	DownDelivered uint64 // reached the endpoint NIC intact
+	DownDropped   uint64 // lost on the down wire (injector)
+	DownFCS       uint64 // corrupted on the down wire, discarded by the endpoint NIC
+
+	// At the endpoints.
+	EndpointRx    uint64 // frames the endpoint stacks saw (incl. host-down)
+	HostDownDrops uint64 // frames that arrived at a crashed host
+}
+
+// Ledger gathers the FrameLedger. Call it only after the engine has
+// quiesced (Eng.Run()): frames still inside the switch pipeline or on a
+// wire would read as conservation gaps.
+func (c *ClusterTestbed) Ledger() FrameLedger {
+	var l FrameLedger
+	add := func(addr byte, u *netstack.UDP) {
+		ep := u.Port
+		sw := c.Switch.LinkPort(addr)
+		ps := c.Switch.Stats(addr)
+		l.EndpointTx += ep.TxFrames
+		l.UpDelivered += ep.DeliveredFrames
+		l.UpDropped += ep.DroppedFrames
+		l.UpFCS += sw.RxFCSErrors
+		l.SwitchIn += ps.InFrames
+		l.DownedIngress += ps.DownedIngress
+		l.SwitchOut += ps.OutFrames
+		l.EgressDrops += ps.EgressDrops
+		l.DownedEgress += ps.DownedEgress
+		l.DownDelivered += sw.DeliveredFrames
+		l.DownDropped += sw.DroppedFrames
+		l.DownFCS += ep.RxFCSErrors
+		l.EndpointRx += u.RxPackets + u.RxDownDrops
+		l.HostDownDrops += u.RxDownDrops
+	}
+	for i, s := range c.Servers {
+		add(c.ServerAddrs[i], s.N.UDP)
+	}
+	for i, n := range c.Clients {
+		add(c.ClientAddrs[i], n.UDP)
+	}
+	l.Misrouted = c.Switch.Misrouted()
+	return l
+}
+
+// SilentLoss returns the total conservation gap across the four frame
+// stages — zero when every frame is accounted for. dupUp/dupDown are the
+// injector duplication counts for the up and down wires (duplicates are
+// distinct arrivals the post-time counters never saw).
+func (l FrameLedger) SilentLoss(dupUp, dupDown uint64) int64 {
+	gap := func(in, out uint64) int64 {
+		d := int64(in) - int64(out)
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	up := gap(l.EndpointTx+dupUp, l.UpDelivered+l.UpDropped+l.UpFCS)
+	sw := gap(l.SwitchIn, l.DownedIngress+l.Misrouted+l.SwitchOut+l.EgressDrops+l.DownedEgress)
+	down := gap(l.SwitchOut+dupDown, l.DownDelivered+l.DownDropped+l.DownFCS)
+	host := gap(l.DownDelivered, l.EndpointRx)
+	return up + sw + down + host
+}
+
 // NewClient builds the consistent-hash-routed client for client index i.
 // replicas ≥ 2 enables R-way read spreading: reads rotate across the key's
 // replica set (writes always go to the owner), which both spreads hot-key
@@ -103,12 +205,25 @@ type ClusterKVClient struct {
 	// R is the read-spread width: reads rotate over the key's R-replica
 	// set. ≤ 1 routes everything to the owner.
 	R int
+	// Failover switches read routing from global round-robin spreading to
+	// attempt-indexed replica selection: attempt k of a request goes to
+	// replica (Ring.Rotation(key)+k) mod R, so a retry or hedge is
+	// guaranteed a different replica than the attempt that failed —
+	// timeouts rotate *away* from a dead or gray owner instead of
+	// re-hitting it. Writes still always go to the owner.
+	Failover bool
 	// Routed counts steps routed to each server index.
 	Routed []uint64
 
+	attempt int
 	spread  uint64
 	scratch []int
 }
+
+// RouteAttempt implements loadgen.AttemptRouter: the generator announces
+// the attempt index (0 = first try, +1 per retry or hedge) before each
+// BuildStep, and failover routing folds it into the replica choice.
+func (c *ClusterKVClient) RouteAttempt(attempt int) { c.attempt = attempt }
 
 // Steps implements loadgen.Client.
 func (c *ClusterKVClient) Steps(req workloads.Request) int { return c.Inner.Steps(req) }
@@ -131,8 +246,16 @@ func (c *ClusterKVClient) BuildStep(id uint64, req workloads.Request, step int) 
 		c.scratch = c.ring.Replicas(c.scratch[:0], req.Keys[0], r)
 		pick := 0
 		if len(c.scratch) > 1 && req.Op != workloads.OpPut {
-			pick = int(c.spread % uint64(len(c.scratch)))
-			c.spread++
+			if c.Failover {
+				// Attempt-indexed: all attempts of one request share the
+				// key's rotation base, consecutive attempts land on distinct
+				// replicas, and no cross-request counter is consumed — the
+				// non-failover path below stays bit-identical when off.
+				pick = int((c.ring.Rotation(req.Keys[0]) + uint64(c.attempt)) % uint64(len(c.scratch)))
+			} else {
+				pick = int(c.spread % uint64(len(c.scratch)))
+				c.spread++
+			}
 		}
 		shard = c.scratch[pick]
 	}

@@ -65,6 +65,15 @@ type KVServer struct {
 	// the legacy unbatched path runs, bit-identical to before.
 	MaxBurst int
 
+	// Fault state (driven by faults.ScheduleNodePlan through the FaultNode
+	// interface). Down marks the node crashed: arriving requests are
+	// discarded (counted in DownDrops) and the netstack mirrors the state so
+	// frames die at RX with exact accounting. Slowdown > 1 is gray failure —
+	// the node keeps answering, but every service time is scaled by it, the
+	// degraded-not-dead mode plain timeouts handle worst.
+	Down     bool
+	Slowdown float64
+
 	// rxq is the batched path's software RX ring: requests waiting for the
 	// drainer, bounded by Core.MaxQueue like the core's own queue.
 	rxq []batchedReq
@@ -81,6 +90,11 @@ type KVServer struct {
 	// ShedReplyErrs counts shed replies the stack refused to transmit; the
 	// client's timeout covers this case.
 	ShedReplyErrs uint64
+	// DownDrops counts requests the crash discarded: work parked in the RX
+	// ring when the node died, plus queued-but-unserved core jobs that fire
+	// while down. Recoveries counts cold restarts.
+	DownDrops  uint64
+	Recoveries uint64
 	// Batch stats: Batches counts drainer runs, BatchedReqs the requests
 	// they served (mean burst = BatchedReqs/Batches), MaxBatch the largest
 	// single burst — the observable for "adaptive sizing engaged".
@@ -181,6 +195,57 @@ func (s *KVServer) batched() bool {
 	return s.MaxBurst >= 2 && s.N.TCP == nil && s.Seg == nil
 }
 
+// Crash kills the node: the netstack starts discarding arriving frames
+// (counted there in RxDownDrops) and every request parked in the software
+// RX ring dies with the process — dropped with exact accounting, never
+// served. A job already executing on the core at the crash instant
+// completes (the model's jobs are atomic units of service); queued core
+// jobs that fire while down are discarded by the Down check in their Run.
+func (s *KVServer) Crash() {
+	s.Down = true
+	if s.N.UDP != nil {
+		s.N.UDP.Down = true
+	}
+	for i := range s.rxq {
+		s.DownDrops++
+		s.rxq[i].p.DecRef()
+		s.rxq[i] = batchedReq{}
+	}
+	s.rxq = s.rxq[:0]
+}
+
+// Recover restarts the node cold: the netstack accepts frames again and
+// the cache-hierarchy state is flushed — a rebooted machine has no warm
+// lines, so post-recovery requests pay cold-cache service costs until the
+// working set re-warms. The store itself survives (modelling durable or
+// replicated data); what a crash loses is in-flight work and cache heat.
+func (s *KVServer) Recover() {
+	s.Down = false
+	if s.N.UDP != nil {
+		s.N.UDP.Down = false
+	}
+	s.N.Cache.Flush()
+	s.Recoveries++
+}
+
+// SetGray sets the gray-failure service-time multiplier; k ≤ 1 restores
+// healthy service.
+func (s *KVServer) SetGray(slowdown float64) {
+	if slowdown <= 1 {
+		s.Slowdown = 0
+		return
+	}
+	s.Slowdown = slowdown
+}
+
+// scaled applies the gray-failure multiplier to one service time.
+func (s *KVServer) scaled(d sim.Time) sim.Time {
+	if s.Slowdown > 1 {
+		return sim.Time(float64(d) * s.Slowdown)
+	}
+	return d
+}
+
 // PendingDepth is the server's total request backlog: the batched path's
 // software RX ring plus the core's own queue. On the unbatched path the
 // ring is always empty, so this equals Core.QueueLen — admission control
@@ -221,9 +286,16 @@ func (s *KVServer) onPayload(p *mem.Buf) {
 			}
 		},
 		Run: func() sim.Time {
+			if s.Down {
+				// The node crashed after this request was queued: the work
+				// dies with the process, costing no (dead) CPU.
+				s.DownDrops++
+				p.DecRef()
+				return 0
+			}
 			s.setReplyAddr(src)
 			s.handle(p, tid, traced)
-			return s.N.Meter.DrainTime()
+			return s.scaled(s.N.Meter.DrainTime())
 		},
 	})
 	if !ok {
@@ -315,7 +387,7 @@ func (s *KVServer) drain() sim.Time {
 		// the TX batch flushes after the burst.
 		s.setReplyAddr(r.src)
 		s.handle(r.p, r.tid, r.traced)
-		d := m.DrainTime()
+		d := s.scaled(m.DrainTime())
 		cum += d
 		total += d
 	}
@@ -332,7 +404,7 @@ func (s *KVServer) drain() sim.Time {
 			s.Errors++
 		}
 		m.SetCategory(prev)
-		total += m.DrainTime()
+		total += s.scaled(m.DrainTime())
 	}
 	s.Batches++
 	s.BatchedReqs += uint64(b)

@@ -41,5 +41,8 @@ func All() map[string]func(Scale) *Report {
 		// Scale-out: the sharded rack behind a simulated ToR switch —
 		// node-count × per-node-load grid with hot-shard skew checks.
 		"cluster": Cluster,
+		// Chaos: node crash/recovery, port flaps, and gray failure against
+		// failover routing and hedged requests, with an exact frame ledger.
+		"chaos": Chaos,
 	}
 }

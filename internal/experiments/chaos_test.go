@@ -1,0 +1,62 @@
+package experiments
+
+import "testing"
+
+// TestChaosSmoke is the CI smoke point: one kill-one-shard ladder point
+// with failover routing, end to end through the fault layer. It stays in
+// -short runs (scripts/check.sh) so crash/recovery, failover and the frame
+// ledger are always exercised even when the full scenario set is skipped.
+func TestChaosSmoke(t *testing.T) {
+	t.Parallel()
+	p := ChaosCrashPoint(Quick(), 200_000, true)
+	if p.Sched.Crashes != 1 || p.Sched.Recoveries != 1 {
+		t.Fatalf("schedule = %+v, want 1 crash / 1 recovery", p.Sched)
+	}
+	if p.Recoveries != 1 {
+		t.Errorf("server recoveries = %d, want 1", p.Recoveries)
+	}
+	// The dead window must have discarded work loudly — at the host NIC,
+	// in the server queues, or both.
+	if p.DownDrops == 0 && p.Ledger.HostDownDrops == 0 {
+		t.Error("crash discarded nothing despite a dead window under load")
+	}
+	var done, bad uint64
+	for _, res := range p.Results {
+		done += res.Completed
+		bad += res.BadResponses
+	}
+	if done == 0 || bad != 0 {
+		t.Fatalf("completed=%d bad=%d", done, bad)
+	}
+	if !p.accountingExact() {
+		t.Error("per-client disposal accounting does not add up")
+	}
+	if loss := p.SilentLoss(); loss != 0 {
+		t.Errorf("silent frame loss = %d (ledger %+v)", loss, p.Ledger)
+	}
+	if p.Misrouted != 0 {
+		t.Errorf("switch misrouted %d frames", p.Misrouted)
+	}
+}
+
+// TestChaosDeterministic pins the replay contract at the point level: the
+// same (scale, rate, seed) chaos point reproduces its fingerprint exactly.
+func TestChaosDeterministic(t *testing.T) {
+	t.Parallel()
+	a := ChaosCrashPoint(Quick(), 150_000, true)
+	b := ChaosCrashPoint(Quick(), 150_000, true)
+	if a.fingerprint() != b.fingerprint() {
+		t.Errorf("fingerprints differ:\n%s\n%s", a.fingerprint(), b.fingerprint())
+	}
+}
+
+// TestChaos runs the full experiment — crash ladder, flap storm, gray
+// triplet — and requires every check (recovery, failover, conservation,
+// hedging, determinism) to pass.
+func TestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos scenario set; skipped in -short (smoke point still runs)")
+	}
+	t.Parallel()
+	runExperiment(t, "chaos")
+}

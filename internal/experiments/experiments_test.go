@@ -68,7 +68,7 @@ func TestAllRegistryComplete(t *testing.T) {
 	want := []string{"fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "tab1", "tab2", "tab3", "tab4", "tab5",
 		"ext-adaptive", "ext-arena", "ext-segment", "ext-multicore", "soak", "overload",
-		"trace", "batching", "cluster"}
+		"trace", "batching", "cluster", "chaos"}
 	if len(all) != len(want) {
 		t.Errorf("registry has %d entries, want %d", len(all), len(want))
 	}

@@ -79,6 +79,13 @@ type PortStats struct {
 	// EgressDrops counts frames tail-dropped because this output queue was
 	// at EgressDepth.
 	EgressDrops uint64
+	// DownedIngress counts frames that arrived from the endpoint while the
+	// port was administratively down; DownedEgress counts frames that would
+	// have been forwarded to the endpoint through a downed port. A flapped
+	// port swallows traffic loudly — both sides of the flap are counted, so
+	// frame conservation stays exact through any storm.
+	DownedIngress uint64
+	DownedEgress  uint64
 	// MaxBacklog is the deepest this output queue got, in frames.
 	MaxBacklog int
 	// ContentionNs is the cumulative time forwarded frames waited at this
@@ -92,6 +99,7 @@ type swPort struct {
 	addr        byte
 	link        *nic.Port // switch-side end of the link to the endpoint
 	outstanding int       // frames posted but not yet off the wire
+	adminDown   bool      // administratively downed (port flap)
 	stats       PortStats
 }
 
@@ -146,6 +154,10 @@ func (s *Switch) PlugIn(prof nic.Profile, propagation sim.Time) (*nic.Port, byte
 func (s *Switch) ingress(p *swPort, f *nic.Frame) {
 	p.stats.InFrames++
 	p.stats.InBytes += uint64(len(f.Data))
+	if p.adminDown {
+		p.stats.DownedIngress++
+		return
+	}
 	if len(f.Data) <= netstack.HdrDstOff {
 		s.misrouted++
 		return
@@ -162,6 +174,10 @@ func (s *Switch) ingress(p *swPort, f *nic.Frame) {
 // forward posts one frame on the egress port q, or tail-drops it when the
 // output queue is full.
 func (s *Switch) forward(q *swPort, data []byte) {
+	if q.adminDown {
+		q.stats.DownedEgress++
+		return
+	}
 	if q.outstanding >= s.cfg.EgressDepth {
 		q.stats.EgressDrops++
 		return
@@ -218,6 +234,39 @@ func (s *Switch) Ports() []byte {
 	return addrs
 }
 
+// SetPortAdmin flips the administrative state of the port at addr — the
+// fault layer's port-flap primitive. While down, frames arriving from the
+// endpoint and frames to be forwarded to it are counted
+// (DownedIngress/DownedEgress) and discarded: a flap loses traffic
+// visibly, never silently. Frames already committed to the egress link
+// when the port goes down finish transmitting, like a real cut mid-frame
+// finishing from the MAC's FIFO. Unknown addresses are ignored.
+func (s *Switch) SetPortAdmin(addr byte, up bool) {
+	if p := s.byAddr[addr]; p != nil {
+		p.adminDown = !up
+	}
+}
+
+// PortAdminUp reports the administrative state of the port at addr (true
+// for unknown addresses, which cannot be downed).
+func (s *Switch) PortAdminUp(addr byte) bool {
+	if p := s.byAddr[addr]; p != nil {
+		return !p.adminDown
+	}
+	return true
+}
+
+// LinkPort exposes the switch-side nic.Port of the link to the endpoint at
+// addr, so link-level adversaries (faults.Apply) can attach per-port loss,
+// corruption or reordering inside a fabric topology instead of only on
+// point-to-point pairs. Nil for unknown addresses.
+func (s *Switch) LinkPort(addr byte) *nic.Port {
+	if p := s.byAddr[addr]; p != nil {
+		return p.link
+	}
+	return nil
+}
+
 // Stats returns the counters of the port at addr (zero stats for an
 // unknown address).
 func (s *Switch) Stats(addr byte) PortStats {
@@ -236,6 +285,8 @@ func (s *Switch) TotalStats() PortStats {
 		t.OutFrames += p.stats.OutFrames
 		t.OutBytes += p.stats.OutBytes
 		t.EgressDrops += p.stats.EgressDrops
+		t.DownedIngress += p.stats.DownedIngress
+		t.DownedEgress += p.stats.DownedEgress
 		t.ContentionNs += p.stats.ContentionNs
 		if p.stats.MaxBacklog > t.MaxBacklog {
 			t.MaxBacklog = p.stats.MaxBacklog

@@ -165,6 +165,77 @@ func TestSwitchBoundedEgressQueue(t *testing.T) {
 	}
 }
 
+// An admin-downed port swallows traffic loudly in both directions: frames
+// from the endpoint count as DownedIngress, frames to it as DownedEgress,
+// and the handler is never invoked — then delivery resumes after re-up.
+func TestSwitchAdminDown(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := New(eng, Config{})
+	epA, addrA := sw.PlugIn(nic.MellanoxCX6(), sim.Microsecond)
+	epB, addrB := sw.PlugIn(nic.MellanoxCX6(), sim.Microsecond)
+	received := 0
+	epB.SetHandler(func(f *nic.Frame) { received++ })
+
+	if !sw.PortAdminUp(addrA) || !sw.PortAdminUp(addrB) {
+		t.Fatal("ports should start admin-up")
+	}
+
+	// Down A's port: A's sends die at ingress.
+	sw.SetPortAdmin(addrA, false)
+	if sw.PortAdminUp(addrA) {
+		t.Fatal("PortAdminUp after SetPortAdmin(false)")
+	}
+	epA.Send([]nic.SGEntry{{Data: frame(addrB, addrA, []byte("into the void"))}})
+	eng.Run()
+	if received != 0 {
+		t.Errorf("frame delivered through a downed ingress: %d", received)
+	}
+	sa := sw.Stats(addrA)
+	if sa.DownedIngress != 1 || sa.InFrames != 1 {
+		t.Errorf("A stats = %+v, want InFrames=1 DownedIngress=1", sa)
+	}
+
+	// Re-up A, down B: the frame routes but dies at B's egress.
+	sw.SetPortAdmin(addrA, true)
+	sw.SetPortAdmin(addrB, false)
+	epA.Send([]nic.SGEntry{{Data: frame(addrB, addrA, []byte("still lost"))}})
+	eng.Run()
+	if received != 0 {
+		t.Errorf("frame delivered through a downed egress: %d", received)
+	}
+	if sb := sw.Stats(addrB); sb.DownedEgress != 1 {
+		t.Errorf("B stats = %+v, want DownedEgress=1", sb)
+	}
+
+	// Both up again: traffic flows.
+	sw.SetPortAdmin(addrB, true)
+	epA.Send([]nic.SGEntry{{Data: frame(addrB, addrA, []byte("back online"))}})
+	eng.Run()
+	if received != 1 {
+		t.Errorf("delivered %d after re-up, want 1", received)
+	}
+
+	// Conservation across the whole episode.
+	ts := sw.TotalStats()
+	// 3 in = 1 downed-in + 1 downed-out + 1 forwarded.
+	if got := ts.DownedIngress + ts.DownedEgress + ts.OutFrames; got != ts.InFrames {
+		t.Errorf("conservation: in=%d downedIn=%d downedOut=%d out=%d",
+			ts.InFrames, ts.DownedIngress, ts.DownedEgress, ts.OutFrames)
+	}
+
+	// Unknown addresses are inert.
+	sw.SetPortAdmin(200, false)
+	if !sw.PortAdminUp(200) {
+		t.Error("unknown address reports admin-down")
+	}
+	if sw.LinkPort(200) != nil {
+		t.Error("LinkPort for unknown address should be nil")
+	}
+	if sw.LinkPort(addrB) == nil {
+		t.Error("LinkPort for a known address should be non-nil")
+	}
+}
+
 func TestSwitchDeterministic(t *testing.T) {
 	run := func() string {
 		eng := sim.NewEngine()

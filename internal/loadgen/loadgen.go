@@ -54,6 +54,34 @@ type RetryPolicy struct {
 // enabled reports whether the policy arms timers at all.
 func (p RetryPolicy) enabled() bool { return p.Deadline > 0 }
 
+// HedgePolicy arms hedged requests: if an attempt has not resolved after
+// Delay (plus seeded jitter up to Jitter), a second copy of the request is
+// fired — at a different replica when the client routes by attempt — and
+// the first reply wins. The loser's reply is retired as HedgeWasted, never
+// double-completed. The zero value disables hedging; a disabled policy
+// adds no events and draws no randomness, so existing runs replay bit for
+// bit.
+type HedgePolicy struct {
+	// Delay is how long an attempt may run before its hedge fires. It
+	// should sit near the healthy p99 — early enough to rescue tail
+	// requests, late enough that most requests never hedge.
+	Delay sim.Time
+	// Jitter adds a uniform [0, Jitter) draw to each hedge delay so
+	// synchronized clients do not hedge in phase.
+	Jitter sim.Time
+}
+
+// enabled reports whether hedge timers are armed at all.
+func (p HedgePolicy) enabled() bool { return p.Delay > 0 }
+
+// AttemptRouter is implemented by clients whose routing wants the attempt
+// index: the generator announces attempt k (0 = first try; retries and
+// hedges increment) immediately before the corresponding BuildStep, so a
+// failover-routing client can steer each attempt to a different replica.
+type AttemptRouter interface {
+	RouteAttempt(attempt int)
+}
+
 // backoffFor returns the capped backoff before retry k (0-based).
 func (p RetryPolicy) backoffFor(k int) sim.Time {
 	b := p.Backoff
@@ -85,6 +113,15 @@ type Config struct {
 
 	// Retry configures per-request deadlines and retries (zero = off).
 	Retry RetryPolicy
+	// Hedge configures hedged requests (zero = off). A hedge shares its
+	// primary's deadline: if neither copy answers before the attempt's
+	// deadline, both are abandoned together and the retry ladder proceeds.
+	Hedge HedgePolicy
+	// Buckets, when > 0, slices the measurement window into this many
+	// equal time buckets and counts completions per bucket
+	// (Result.BucketCompleted) — the goodput-over-time trace a recovery
+	// check needs to see a crash dip and re-convergence.
+	Buckets int
 	// ShedID, when set, classifies a payload as an explicit server
 	// rejection and extracts its request id (wired to driver.ShedID).
 	// Shed flows are terminal — retrying work the server just refused
@@ -137,6 +174,21 @@ type Result struct {
 	// Unresolved counts measured requests still in flight when the run's
 	// drain window closed — always zero when the retry policy is enabled.
 	Unresolved uint64
+
+	// Hedge accounting (warmup included, like Retries). Hedges counts
+	// second attempts launched; HedgeWins counts flows whose hedge (not
+	// primary) answered first; HedgeWasted counts replies that arrived for
+	// the losing side of a decided race. Every hedged flow still disposes
+	// exactly once, so Sent == Completed + Shed + TimedOut + Unresolved
+	// holds unchanged.
+	Hedges      uint64
+	HedgeWins   uint64
+	HedgeWasted uint64
+
+	// BucketCompleted, when Config.Buckets > 0, counts completions per
+	// equal slice of the measurement window (completions landing in the
+	// drain window are not bucketed).
+	BucketCompleted []uint64
 }
 
 // P99 returns the 99th-percentile latency, or 0 when no requests
@@ -168,6 +220,13 @@ type flow struct {
 	attempts int
 	// timer is the pending deadline for the current attempt.
 	timer sim.Timer
+	// hedgeTimer is the pending hedge launch for the current attempt.
+	hedgeTimer sim.Timer
+	// primaryID/hedgeID are the wire ids of the current attempt's two
+	// racers; hedged marks that the hedge was actually launched.
+	primaryID uint64
+	hedgeID   uint64
+	hedged    bool
 	// tr is the flow's trace record (nil when tracing is off).
 	tr *trace.Flow
 }
@@ -202,6 +261,9 @@ func Start(cfg Config) *Runner {
 		res:   Result{OfferedRps: cfg.RatePerS, Latency: NewHistogram()},
 		flows: map[uint64]*flow{},
 	}
+	if cfg.Buckets > 0 {
+		ru.res.BucketCompleted = make([]uint64, cfg.Buckets)
+	}
 	res := &ru.res
 
 	interarrival := func() sim.Time {
@@ -217,27 +279,71 @@ func Start(cfg Config) *Runner {
 		nextID     = cfg.ClientID << 48
 		flows      = ru.flows
 		expired    = map[uint64]bool{} // ids whose flow ended or was re-sent
+		wasted     = map[uint64]bool{} // loser ids of decided hedge races
 		measureEnd = cfg.Warmup + cfg.Measure
 		// jitter is independent of the workload stream so enabling retries
 		// does not perturb which requests are generated. Each cluster client
 		// forks its own sub-stream off the shared label space; a solo run
 		// (ClientID 0) keeps the historical root stream.
 		jitter = sim.NewRand(cfg.Seed ^ 0xBACC0FF)
+		// hedgeRng feeds only hedge-delay jitter, on its own sub-stream, so
+		// enabling hedging never perturbs the retry-jitter sequence (and a
+		// disabled hedge policy draws nothing at all).
+		hedgeRng = sim.NewRand(cfg.Seed ^ 0x4ED9E)
 	)
 	if cfg.ClientID != 0 {
 		jitter = jitter.Fork(cfg.ClientID)
+		hedgeRng = hedgeRng.Fork(cfg.ClientID)
+	}
+
+	// announce tells an attempt-routing client which attempt index the next
+	// BuildStep belongs to. Nil for plain clients — no behavior change.
+	router, _ := cfg.Client.(AttemptRouter)
+	announce := func(attempt int) {
+		if router != nil {
+			router.RouteAttempt(attempt)
+		}
 	}
 
 	var sendStep func(f *flow)
+
+	// launchHedge fires the second racer of f's current attempt, routed as
+	// attempt index attempts+1 so failover routing picks a different
+	// replica than the primary.
+	launchHedge := func(f *flow) {
+		hid := nextID
+		nextID++
+		flows[hid] = f
+		f.hedgeID = hid
+		f.hedged = true
+		res.Hedges++
+		cfg.Tracer.Attempt(f.tr, hid, eng.Now())
+		announce(f.attempts + 1)
+		payload := cfg.Client.BuildStep(hid, f.req, f.step)
+		cfg.EP.SendContiguous(payload, mem.UnpinnedSimAddr(payload))
+	}
+
 	sendStep = func(f *flow) {
 		id := nextID
 		nextID++
 		flows[id] = f
+		f.primaryID = id
+		f.hedged = false
 		// Register the attempt before posting: the NIC observer's marks for
 		// this frame resolve through the wire id registered here.
 		cfg.Tracer.Attempt(f.tr, id, eng.Now())
+		announce(f.attempts)
 		payload := cfg.Client.BuildStep(id, f.req, f.step)
 		cfg.EP.SendContiguous(payload, mem.UnpinnedSimAddr(payload))
+		if cfg.Hedge.enabled() {
+			delay := cfg.Hedge.Delay + hedgeRng.Duration(cfg.Hedge.Jitter)
+			f.hedgeTimer = eng.After(delay, func() {
+				if flows[id] != f {
+					return // primary already resolved; no hedge needed
+				}
+				launchHedge(f)
+			})
+		}
 		if cfg.Retry.enabled() {
 			f.timer = eng.After(cfg.Retry.Deadline, func() {
 				if flows[id] != f {
@@ -245,6 +351,18 @@ func Start(cfg Config) *Runner {
 				}
 				delete(flows, id)
 				expired[id] = true
+				// The hedge shares its primary's deadline: abandon the
+				// launched copy (its reply counts Late) or disarm the
+				// pending launch, so one timeout disposes the whole race.
+				f.hedgeTimer.Cancel()
+				if f.hedged {
+					if flows[f.hedgeID] == f {
+						delete(flows, f.hedgeID)
+						expired[f.hedgeID] = true
+						cfg.Tracer.AttemptEnd(f.hedgeID)
+					}
+					f.hedged = false
+				}
 				willRetry := f.attempts < cfg.Retry.MaxRetries
 				cfg.Tracer.Timeout(f.tr, id, eng.Now(), willRetry)
 				if !willRetry {
@@ -269,11 +387,30 @@ func Start(cfg Config) *Runner {
 	}
 
 	// resolve ends the current attempt's bookkeeping for a delivered id.
+	// When the attempt was a two-racer hedge, the loser's wire id is
+	// retired as wasted — its reply, if it ever arrives, is hedge waste,
+	// never a second completion.
 	resolve := func(id uint64, f *flow) {
 		f.timer.Cancel()
+		f.hedgeTimer.Cancel()
 		delete(flows, id)
 		expired[id] = true
 		cfg.Tracer.AttemptEnd(id)
+		if f.hedged {
+			if id == f.hedgeID {
+				res.HedgeWins++
+			}
+			loser := f.primaryID
+			if id == f.primaryID {
+				loser = f.hedgeID
+			}
+			if flows[loser] == f {
+				delete(flows, loser)
+				wasted[loser] = true
+				cfg.Tracer.AttemptEnd(loser)
+			}
+			f.hedged = false
+		}
 	}
 
 	cfg.EP.SetRecvHandler(func(p *mem.Buf) {
@@ -285,9 +422,12 @@ func Start(cfg Config) *Runner {
 			if id, ok := cfg.ShedID(p.Bytes()); ok {
 				f, ok := flows[id]
 				if !ok {
-					if expired[id] {
+					switch {
+					case wasted[id]:
+						res.HedgeWasted++
+					case expired[id]:
 						res.LateResponses++
-					} else {
+					default:
 						res.BadResponses++
 					}
 					return
@@ -307,12 +447,18 @@ func Start(cfg Config) *Runner {
 		}
 		f, ok := flows[id]
 		if !ok {
-			if expired[id] {
+			switch {
+			case wasted[id]:
+				// The losing side of a decided hedge race answered: the
+				// redundancy cost of hedging, counted, never a second
+				// completion.
+				res.HedgeWasted++
+			case expired[id]:
 				// A response for an attempt we already resolved or retried:
 				// expected under timeouts (the original and the retry can
 				// both be answered), not a protocol error.
 				res.LateResponses++
-			} else {
+			default:
 				res.BadResponses++
 			}
 			return
@@ -334,6 +480,16 @@ func Start(cfg Config) *Runner {
 			res.Completed++
 			ru.respBytes += uint64(p.Len())
 			res.Latency.Record(now - f.start)
+			if len(res.BucketCompleted) > 0 && now < measureEnd {
+				i := int(int64(now-cfg.Warmup) * int64(len(res.BucketCompleted)) / int64(cfg.Measure))
+				if i < 0 {
+					i = 0
+				}
+				if i >= len(res.BucketCompleted) {
+					i = len(res.BucketCompleted) - 1
+				}
+				res.BucketCompleted[i]++
+			}
 		}
 		cfg.Tracer.EndFlow(f.tr, now, trace.OutcomeCompleted)
 	})

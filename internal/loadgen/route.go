@@ -117,6 +117,17 @@ func (r *Ring) Replicas(dst []int, key []byte, R int) []int {
 	return dst
 }
 
+// Rotation returns a per-key deterministic base offset into the key's
+// replica set, decorrelated from the ring position (different finalizer
+// input). Failover routing picks replica (Rotation+attempt) mod R: every
+// attempt of one request agrees on the base, consecutive attempts are
+// guaranteed distinct replicas, and no cross-request state is consumed —
+// so a retry or hedge always lands somewhere new without perturbing any
+// other request's routing.
+func (r *Ring) Rotation(key []byte) uint64 {
+	return mix64(fnv64a(key) ^ 0xFA170FE2)
+}
+
 // fnv64a is the 64-bit FNV-1a hash, the same function the shard-tag
 // dispatcher in driver uses, so routing is consistent across layers.
 func fnv64a(b []byte) uint64 {

@@ -74,6 +74,13 @@ type UDP struct {
 	// the request a drop silenced; the payload must not be retained.
 	OnDrop func(payload []byte, reason string)
 
+	// Down marks the host as crashed: frames still arrive (the NIC and wire
+	// do not know the host died) but the stack discards them, counted in
+	// RxDownDrops — a dead node loses traffic loudly, never silently, so the
+	// cluster frame ledger stays exact through a crash.
+	Down        bool
+	RxDownDrops uint64
+
 	// RxBatched marks that the server above drains requests in bursts: the
 	// poll-loop share of the per-packet RX cost (RxPollCy) is then charged
 	// once per drained burst by the drainer, so onFrame charges only the
@@ -115,6 +122,16 @@ func (u *UDP) SetRecvHandler(fn func(payload *mem.Buf)) { u.recv = fn }
 // pre-posted pinned buffer; the host poll loop pays the fixed per-packet RX
 // cost and strips the packet header.
 func (u *UDP) onFrame(f *nic.Frame) {
+	if u.Down {
+		// Crashed host: the frame reached the NIC but no software is alive
+		// to poll it. No CPU is charged (there is no CPU), the buffer is
+		// never allocated, and the loss is counted.
+		u.RxDownDrops++
+		if u.OnDrop != nil {
+			u.OnDrop(f.Data, "host-down")
+		}
+		return
+	}
 	u.RxPackets++
 	cy := u.Meter.CPU.RxPacketCy
 	if u.RxBatched {

@@ -8,16 +8,16 @@
 #
 # Env knobs:
 #   BENCHTIME  go test -benchtime for the experiment passes (default 2x)
-#   OUT        output JSON path (default BENCH_6.json)
+#   OUT        output JSON path (default BENCH_7.json)
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2x}"
-OUT="${OUT:-BENCH_6.json}"
+OUT="${OUT:-BENCH_7.json}"
 mkdir -p artifacts
 
 echo "== serial pass (CF_PARALLEL=1, benchtime=$BENCHTIME)"
-CF_PARALLEL=1 go test -run '^$' -bench '^Benchmark(Fig|Table|Ext|Cluster)' \
+CF_PARALLEL=1 go test -run '^$' -bench '^Benchmark(Fig|Table|Ext|Cluster|Chaos)' \
     -benchmem -benchtime "$BENCHTIME" . | tee artifacts/bench-serial.txt
 
 echo "== DES hot-path micro-benchmarks (serial only)"
@@ -25,7 +25,7 @@ go test -run '^$' -bench '^Benchmark(EngineScheduleDispatch|CoreServeJob)$' \
     -benchmem ./internal/sim | tee -a artifacts/bench-serial.txt
 
 echo "== parallel pass (CF_PARALLEL=0 -> GOMAXPROCS workers, benchtime=$BENCHTIME)"
-CF_PARALLEL=0 go test -run '^$' -bench '^Benchmark(Fig|Table|Ext|Cluster)' \
+CF_PARALLEL=0 go test -run '^$' -bench '^Benchmark(Fig|Table|Ext|Cluster|Chaos)' \
     -benchmem -benchtime "$BENCHTIME" . | tee artifacts/bench-parallel.txt
 
 echo "== fold into $OUT"

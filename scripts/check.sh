@@ -21,6 +21,11 @@ echo "== cluster fabric smoke (2-shard rack end to end through the ToR switch)"
 go test -short ./internal/experiments -run 'TestClusterSmoke'
 go test -short ./internal/driver -run 'TestClusterEndToEnd|TestClusterWireIDsDisjoint|TestClusterTopologyGrowthStable'
 
+echo "== chaos smoke (kill-one-shard point: crash/recovery, failover, frame ledger)"
+go test -short ./internal/experiments -run 'TestChaosSmoke|TestChaosDeterministic'
+go test -short ./internal/driver -run 'TestClusterCrashRecovery|TestCrashDrainsPending|TestFailoverRouting'
+go test -short ./internal/loadgen -run 'TestHedge|TestBucketCompleted'
+
 echo "== parallel-harness fingerprint gate (serial == parallel across every experiment, cluster included)"
 go test ./internal/experiments -run 'TestSerialParallelFingerprints|TestFingerprintSensitivity'
 
@@ -28,6 +33,8 @@ echo "== zero-alloc hot-path pins (DES engine, core, meter, cache fill)"
 go test ./internal/sim ./internal/costmodel -run 'AllocFree|TestTimerStaleAfterRecycle'
 
 echo "== go test -race ./... (includes the parallel sweep smoke)"
-go test -race ./...
+# The experiments package runs every reproduction at Quick scale; under the
+# race detector that outgrew go test's default 10-minute per-package limit.
+go test -race -timeout 45m ./...
 
 echo "== check OK"
