@@ -19,9 +19,10 @@ check-fast:
 test:
 	go test -short ./...
 
-# Serial + parallel benchmark passes folded into BENCH_7.json (see
-# scripts/bench.sh; BENCHTIME/OUT env knobs). `make bench-raw` keeps the
-# old direct run.
+# Serial + parallel benchmark passes folded into the next BENCH_<n>.json
+# (index derived from the committed BENCH_*.json sequence; see
+# scripts/bench.sh for the gap check and BENCHTIME/OUT env knobs).
+# `make bench-raw` keeps the old direct run.
 bench:
 	./scripts/bench.sh
 

@@ -70,6 +70,7 @@ func BenchmarkExtSegmentation(b *testing.B)        { benchExperiment(b, "ext-seg
 func BenchmarkExtMulticoreKV(b *testing.B)         { benchExperiment(b, "ext-multicore") }
 func BenchmarkClusterScaleout(b *testing.B)        { benchExperiment(b, "cluster") }
 func BenchmarkChaosFaults(b *testing.B)            { benchExperiment(b, "chaos") }
+func BenchmarkRpcChains(b *testing.B)              { benchExperiment(b, "rpc") }
 
 // --- Library micro-benchmarks: real wall-clock cost of this Go
 // implementation (the virtual-time substrate measures the modelled system;

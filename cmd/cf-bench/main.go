@@ -9,6 +9,7 @@
 //	cf-bench -batch               # the batched-datapath sweep (-exp batching)
 //	cf-bench -cluster             # the multi-node scale-out grid (-exp cluster)
 //	cf-bench -chaos               # crash/flap/gray fault scenarios (-exp chaos)
+//	cf-bench -rpc                 # serializer-aware RPC chains over the rack (-exp rpc)
 //	cf-bench -exp fig7 -parallel 4  # fan sweep points across 4 goroutines
 //
 // -parallel (default GOMAXPROCS) only changes wall-clock: sweep points run
@@ -36,6 +37,7 @@ func main() {
 	batch := flag.Bool("batch", false, "shorthand for -exp batching (batched RX/TX datapath sweep)")
 	cluster := flag.Bool("cluster", false, "shorthand for -exp cluster (multi-node ToR-switch scale-out grid)")
 	chaos := flag.Bool("chaos", false, "shorthand for -exp chaos (node crash/recovery, port flaps, gray failure)")
+	rpcExp := flag.Bool("rpc", false, "shorthand for -exp rpc (serializer-aware RPC chains: depth × load, fan-out, NIC offload)")
 	quick := flag.Bool("quick", false, "reduced scale (faster, noisier)")
 	list := flag.Bool("list", false, "list experiment ids")
 	csvDir := flag.String("csv", "", "also write each report's table to <dir>/<id>.csv")
@@ -71,6 +73,9 @@ func main() {
 	}
 	if *chaos {
 		*exp = "chaos"
+	}
+	if *rpcExp {
+		*exp = "rpc"
 	}
 
 	done, total := 0, 1

@@ -7,7 +7,6 @@ import (
 	"cornflakes/internal/loadgen"
 	"cornflakes/internal/netstack"
 	"cornflakes/internal/nic"
-	"cornflakes/internal/sim"
 	"cornflakes/internal/workloads"
 )
 
@@ -19,13 +18,13 @@ var (
 )
 
 // ClusterTestbed is the topology composer behind the cluster experiments:
-// N sharded KV servers and M load-generator clients, each on its own NIC,
-// all plugged into one simulated ToR switch on one engine. It generalizes
-// Testbed's back-to-back pair to the rack the paper's "millions of users"
-// deployments actually run in.
+// N sharded KV servers and M load-generator clients on one Rack. It
+// generalizes Testbed's back-to-back pair to the rack the paper's
+// "millions of users" deployments actually run in; the switch plumbing,
+// node construction, and frame ledger live on the embedded Rack so other
+// scenario families (RPC chains, cache tiers) compose the same way.
 type ClusterTestbed struct {
-	Eng    *sim.Engine
-	Switch *fabric.Switch
+	*Rack
 	// Servers[i] is the KV shard reachable at ServerAddrs[i].
 	Servers     []*KVServer
 	ServerAddrs []byte
@@ -41,24 +40,19 @@ type ClusterTestbed struct {
 // given serialization system and cache config) and nClients generator
 // endpoints behind one switch. A zero fabric.Config takes the defaults
 // (100 Gbps ToR ports, 300 ns switching latency, 256-frame output queues).
+// Servers plug in before clients, so shard fabric addresses stay 1..n.
 func NewClusterTestbed(nServers, nClients int, sys System, profile nic.Profile, cacheCfg cachesim.Config, fcfg fabric.Config) *ClusterTestbed {
-	eng := sim.NewEngine()
 	c := &ClusterTestbed{
-		Eng:    eng,
-		Switch: fabric.New(eng, fcfg),
-		Ring:   loadgen.NewRing(nServers, 0),
+		Rack: NewRack(fcfg),
+		Ring: loadgen.NewRing(nServers, 0),
 	}
 	for i := 0; i < nServers; i++ {
-		port, addr := c.Switch.PlugIn(profile, propagation)
-		n := NewNodeCfg(eng, port, false, cacheCfg)
-		n.UDP.LocalAddr = addr
+		n, addr := c.AddNode(profile, cacheCfg)
 		c.Servers = append(c.Servers, NewKVServer(n, sys))
 		c.ServerAddrs = append(c.ServerAddrs, addr)
 	}
 	for i := 0; i < nClients; i++ {
-		port, addr := c.Switch.PlugIn(profile, propagation)
-		n := NewNodeCfg(eng, port, false, cachesim.DefaultConfig())
-		n.UDP.LocalAddr = addr
+		n, addr := c.AddNode(profile, cachesim.DefaultConfig())
 		c.Clients = append(c.Clients, n)
 		c.ClientAddrs = append(c.ClientAddrs, addr)
 	}
@@ -92,89 +86,6 @@ func (c *ClusterTestbed) FaultNodes() []faults.FaultNode {
 		nodes[i] = s
 	}
 	return nodes
-}
-
-// FrameLedger sums every frame counter in the topology, stage by stage, so
-// a chaos scenario can prove no frame was lost silently: every posted
-// frame must be accounted as delivered, wire-dropped, FCS-discarded,
-// downed-port-discarded, switch-tail-dropped, misrouted, or host-down
-// dropped. "Up" is endpoint→switch, "Down" is switch→endpoint.
-type FrameLedger struct {
-	// Up direction, summed over all endpoint NICs.
-	EndpointTx  uint64 // frames posted by endpoints
-	UpDelivered uint64 // reached the switch NIC intact
-	UpDropped   uint64 // lost on the up wire (injector)
-	UpFCS       uint64 // corrupted on the up wire, discarded by the switch NIC
-
-	// Inside the switch.
-	SwitchIn      uint64 // frames the switch ingressed
-	DownedIngress uint64 // arrived on an admin-down port
-	Misrouted     uint64 // no route for the destination byte
-	SwitchOut     uint64 // forwarded onto an egress link
-	EgressDrops   uint64 // tail-dropped at a full output queue
-	DownedEgress  uint64 // egress port was admin-down
-
-	// Down direction, summed over all switch-side link ports.
-	DownDelivered uint64 // reached the endpoint NIC intact
-	DownDropped   uint64 // lost on the down wire (injector)
-	DownFCS       uint64 // corrupted on the down wire, discarded by the endpoint NIC
-
-	// At the endpoints.
-	EndpointRx    uint64 // frames the endpoint stacks saw (incl. host-down)
-	HostDownDrops uint64 // frames that arrived at a crashed host
-}
-
-// Ledger gathers the FrameLedger. Call it only after the engine has
-// quiesced (Eng.Run()): frames still inside the switch pipeline or on a
-// wire would read as conservation gaps.
-func (c *ClusterTestbed) Ledger() FrameLedger {
-	var l FrameLedger
-	add := func(addr byte, u *netstack.UDP) {
-		ep := u.Port
-		sw := c.Switch.LinkPort(addr)
-		ps := c.Switch.Stats(addr)
-		l.EndpointTx += ep.TxFrames
-		l.UpDelivered += ep.DeliveredFrames
-		l.UpDropped += ep.DroppedFrames
-		l.UpFCS += sw.RxFCSErrors
-		l.SwitchIn += ps.InFrames
-		l.DownedIngress += ps.DownedIngress
-		l.SwitchOut += ps.OutFrames
-		l.EgressDrops += ps.EgressDrops
-		l.DownedEgress += ps.DownedEgress
-		l.DownDelivered += sw.DeliveredFrames
-		l.DownDropped += sw.DroppedFrames
-		l.DownFCS += ep.RxFCSErrors
-		l.EndpointRx += u.RxPackets + u.RxDownDrops
-		l.HostDownDrops += u.RxDownDrops
-	}
-	for i, s := range c.Servers {
-		add(c.ServerAddrs[i], s.N.UDP)
-	}
-	for i, n := range c.Clients {
-		add(c.ClientAddrs[i], n.UDP)
-	}
-	l.Misrouted = c.Switch.Misrouted()
-	return l
-}
-
-// SilentLoss returns the total conservation gap across the four frame
-// stages — zero when every frame is accounted for. dupUp/dupDown are the
-// injector duplication counts for the up and down wires (duplicates are
-// distinct arrivals the post-time counters never saw).
-func (l FrameLedger) SilentLoss(dupUp, dupDown uint64) int64 {
-	gap := func(in, out uint64) int64 {
-		d := int64(in) - int64(out)
-		if d < 0 {
-			d = -d
-		}
-		return d
-	}
-	up := gap(l.EndpointTx+dupUp, l.UpDelivered+l.UpDropped+l.UpFCS)
-	sw := gap(l.SwitchIn, l.DownedIngress+l.Misrouted+l.SwitchOut+l.EgressDrops+l.DownedEgress)
-	down := gap(l.SwitchOut+dupDown, l.DownDelivered+l.DownDropped+l.DownFCS)
-	host := gap(l.DownDelivered, l.EndpointRx)
-	return up + sw + down + host
 }
 
 // NewClient builds the consistent-hash-routed client for client index i.

@@ -65,6 +65,16 @@ type KVServer struct {
 	// the legacy unbatched path runs, bit-identical to before.
 	MaxBurst int
 
+	// OffloadSer models an RPCAcc/Dagger-style NIC serialization engine:
+	// each request's serialize + deserialize cycles are charged to the
+	// device instead of the host core, so they leave the core's capacity
+	// budget (the receipt still records them — the work happens, it just
+	// runs NIC-side). OffloadedTime accumulates the service time moved off
+	// the host, the observable the Fig 10 offload row divides out.
+	OffloadSer    bool
+	OffloadedTime sim.Time
+	lastSerCy     float64
+
 	// Fault state (driven by faults.ScheduleNodePlan through the FaultNode
 	// interface). Down marks the node crashed: arriving requests are
 	// discarded (counted in DownDrops) and the netstack mirrors the state so
@@ -238,6 +248,24 @@ func (s *KVServer) SetGray(slowdown float64) {
 	s.Slowdown = slowdown
 }
 
+// hostTime deducts the offloaded serialization share from one request's
+// drained service time (a no-op unless OffloadSer is set). It must run on
+// the drain taken right after handle, while lastSerCy still describes that
+// request's receipt; the deduction is clamped so frame-delivery work folded
+// into the same drain can never go negative.
+func (s *KVServer) hostTime(d sim.Time) sim.Time {
+	if !s.OffloadSer {
+		return d
+	}
+	off := s.N.Meter.CPU.Cycles(s.lastSerCy)
+	s.lastSerCy = 0
+	if off > d {
+		off = d
+	}
+	s.OffloadedTime += off
+	return d - off
+}
+
 // scaled applies the gray-failure multiplier to one service time.
 func (s *KVServer) scaled(d sim.Time) sim.Time {
 	if s.Slowdown > 1 {
@@ -295,7 +323,7 @@ func (s *KVServer) onPayload(p *mem.Buf) {
 			}
 			s.setReplyAddr(src)
 			s.handle(p, tid, traced)
-			return s.scaled(s.N.Meter.DrainTime())
+			return s.scaled(s.hostTime(s.N.Meter.DrainTime()))
 		},
 	})
 	if !ok {
@@ -387,7 +415,7 @@ func (s *KVServer) drain() sim.Time {
 		// the TX batch flushes after the burst.
 		s.setReplyAddr(r.src)
 		s.handle(r.p, r.tid, r.traced)
-		d := s.scaled(m.DrainTime())
+		d := s.scaled(s.hostTime(m.DrainTime()))
 		cum += d
 		total += d
 	}
@@ -487,6 +515,7 @@ func (s *KVServer) handle(p *mem.Buf, tid uint64, traced bool) {
 		// inter-request work (completions, next RX) to the rx bucket.
 		s.N.Arena.Reset()
 		rec := m.TakeReceipt()
+		s.lastSerCy = rec.Cycles[costmodel.CatSerialize] + rec.Cycles[costmodel.CatDeserialize]
 		if s.OnReceipt != nil {
 			s.OnReceipt(rec)
 		}

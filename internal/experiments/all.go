@@ -44,5 +44,9 @@ func All() map[string]func(Scale) *Report {
 		// Chaos: node crash/recovery, port flaps, and gray failure against
 		// failover routing and hedged requests, with an exact frame ledger.
 		"chaos": Chaos,
+		// RPC: serializer-aware microservice call graphs over the rack —
+		// chain depth × load, per-hop marshalling share, fan-out/fan-in,
+		// NIC-side serialization offload, and per-hop trace spans.
+		"rpc": RPC,
 	}
 }

@@ -1,0 +1,39 @@
+package experiments
+
+import "cornflakes/internal/loadgen"
+
+// Shared experiment-check helpers: the cluster, chaos, and rpc scenario
+// families all assert the same bookkeeping contracts — exact request
+// disposal on every generator, and point-level replay determinism. They
+// were separately (and slightly divergently) hand-rolled per experiment;
+// factoring them here keeps a new scenario family honest by default.
+
+// disposalExact reports whether every result's request ledger resolves
+// exactly: sent = completed + shed + timedout + unresolved. Any gap means
+// a flow was double-counted or silently dropped by the harness itself.
+func disposalExact(rs ...loadgen.Result) bool {
+	for _, r := range rs {
+		if r.Completed+r.Shed+r.TimedOut+r.Unresolved != r.Sent {
+			return false
+		}
+	}
+	return true
+}
+
+// addAccountingCheck records the disposal-exactness check over a set of
+// generator results under a scenario-specific scope label.
+func addAccountingCheck(r *Report, scope string, exact bool, n int) {
+	r.AddCheck("accounting: sent = completed+shed+timedout+unresolved for every client",
+		exact, "checked %s (%d results)", scope, n)
+}
+
+// addDeterminismCheck re-runs a point via the caller's closure and pins its
+// fingerprint against the first run: same seed, same config → byte-equal.
+func addDeterminismCheck(r *Report, what, first string, rerun func() string) {
+	second := rerun()
+	r.AddCheck("determinism: "+what+" replays byte-identically",
+		first == second, "fingerprint %q", first)
+	if first != second {
+		r.Notes = append(r.Notes, "rerun fingerprint: "+second)
+	}
+}

@@ -139,12 +139,7 @@ func (p ClusterPoint) HotShare() float64 {
 
 // accountingExact reports whether every client's counters add up.
 func (p ClusterPoint) accountingExact() bool {
-	for _, r := range p.Results {
-		if r.Completed+r.Shed+r.TimedOut+r.Unresolved != r.Sent {
-			return false
-		}
-	}
-	return true
+	return disposalExact(p.Results...)
 }
 
 // ClusterAt runs one cluster point: nodes servers and nodes clients behind
@@ -366,8 +361,7 @@ func Cluster(sc Scale) *Report {
 			exact = false
 		}
 	}
-	r.AddCheck("accounting: sent = completed+shed+timedout+unresolved for every client",
-		exact, "checked %d points × per-node clients", len(grid)+len(hot))
+	addAccountingCheck(r, "grid + hot-shard points × per-node clients", exact, len(grid)+len(hot))
 
 	return r
 }

@@ -57,6 +57,8 @@ func TestTrace(t *testing.T) { t.Parallel(); runExperiment(t, "trace") }
 
 func TestBatching(t *testing.T) { t.Parallel(); runExperiment(t, "batching") }
 
+func TestRpc(t *testing.T) { t.Parallel(); runExperiment(t, "rpc") }
+
 func TestExtAdaptive(t *testing.T)  { t.Parallel(); runExperiment(t, "ext-adaptive") }
 func TestExtArena(t *testing.T)     { t.Parallel(); runExperiment(t, "ext-arena") }
 func TestExtSegment(t *testing.T)   { t.Parallel(); runExperiment(t, "ext-segment") }
@@ -68,7 +70,7 @@ func TestAllRegistryComplete(t *testing.T) {
 	want := []string{"fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "tab1", "tab2", "tab3", "tab4", "tab5",
 		"ext-adaptive", "ext-arena", "ext-segment", "ext-multicore", "soak", "overload",
-		"trace", "batching", "cluster", "chaos"}
+		"trace", "batching", "cluster", "chaos", "rpc"}
 	if len(all) != len(want) {
 		t.Errorf("registry has %d entries, want %d", len(all), len(want))
 	}

@@ -25,8 +25,11 @@ type kvOpts struct {
 	// SmallCache shrinks the modelled L3 (see expCacheConfig) so that
 	// scaled-down stores stay DRAM-resident like the paper's.
 	SmallCache bool
-	Scale      Scale
-	Seed       uint64
+	// Offload charges (de)serialization to a NIC-side engine instead of
+	// the host core (KVServer.OffloadSer) — the RPCAcc-style deployment.
+	Offload bool
+	Scale   Scale
+	Seed    uint64
 }
 
 func (o *kvOpts) profile() nic.Profile {
@@ -48,6 +51,7 @@ func newKVTestbed(o kvOpts) (*driver.Testbed, *driver.KVServer, *driver.KVClient
 		tb.Server.Ctx.Threshold = o.Threshold
 	}
 	srv.UseSGArray = o.UseSGArray
+	srv.OffloadSer = o.Offload
 	if o.Scale.Batch > 0 {
 		srv.EnableBatching(o.Scale.Batch)
 	}

@@ -131,6 +131,87 @@ func TestHedgeSharedDeadline(t *testing.T) {
 	}
 }
 
+// Regression (hedge × retry double-scheduling audit): when a hedged pair's
+// shared deadline expires with BOTH racers still outstanding and retries
+// remaining, exactly one retry is scheduled for the pair — never one per
+// racer — and every straggler reply classifies Late, never as a second
+// completion. The chaos gray triplet exercises this path but never pins the
+// retry count; this does, deterministically.
+func TestHedgedPairExpiryRetriesOnce(t *testing.T) {
+	eng := sim.NewEngine()
+	// 200 µs echo > 50 µs deadline: every pair (first attempt and its one
+	// retry) expires with both racers in flight, then all replies straggle in.
+	d := &deafEndpoint{eng: eng, alloc: mem.NewAllocator(), echoDelay: 200 * sim.Microsecond}
+	cfg := hedgeCfg(eng, d)
+	cfg.Retry.MaxRetries = 1
+	res := Run(cfg)
+	if res.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	// The pin: one expired hedged pair schedules exactly one retry. A
+	// double-schedule (one per racer) would double this.
+	if res.Retries != res.Sent {
+		t.Errorf("retries = %d, want exactly one per flow (%d)", res.Retries, res.Sent)
+	}
+	// Both the first attempt and its retry hedge (10 µs delay < 50 µs
+	// deadline), so each flow launches exactly two hedges.
+	if res.Hedges != 2*res.Sent {
+		t.Errorf("hedges = %d, want two per flow (%d)", res.Hedges, 2*res.Sent)
+	}
+	if res.TimedOut != res.Sent || res.Completed != 0 {
+		t.Errorf("timedout=%d completed=%d of sent=%d — straggler replies must never complete an expired flow",
+			res.TimedOut, res.Completed, res.Sent)
+	}
+	// All four racers (2 attempts × 2 racers) eventually answer, after the
+	// flow is gone: Late, not wasted (no race was decided), not bad.
+	if res.LateResponses != 4*res.Sent {
+		t.Errorf("late = %d, want all four racers' replies (%d)", res.LateResponses, 4*res.Sent)
+	}
+	if res.HedgeWasted != 0 || res.HedgeWins != 0 || res.BadResponses != 0 {
+		t.Errorf("wasted=%d wins=%d bad=%d, want 0/0/0", res.HedgeWasted, res.HedgeWins, res.BadResponses)
+	}
+	if got := res.Completed + res.Shed + res.TimedOut + res.Unresolved; got != res.Sent {
+		t.Errorf("disposal not exact: sent=%d resolved=%d", res.Sent, got)
+	}
+}
+
+// routeRec records every announced failover route index.
+type routeRec struct {
+	idClient
+	routes []int
+}
+
+func (c *routeRec) RouteAttempt(a int) { c.routes = append(c.routes, a) }
+
+// Regression: a retry after an expired hedged pair must route PAST the
+// replica slot the hedge already consumed. Each flow here sends four racers
+// (primary, hedge, retry primary, retry hedge) which must announce route
+// indices 0,1,2,3 — before the fix the retry re-announced index 1, re-hitting
+// the hedge's replica under failover routing.
+func TestHedgeRetryRouteSkipsConsumedSlot(t *testing.T) {
+	eng := sim.NewEngine()
+	d := &deafEndpoint{eng: eng, alloc: mem.NewAllocator(), echoDelay: 200 * sim.Microsecond}
+	cfg := hedgeCfg(eng, d)
+	cfg.Retry.MaxRetries = 1
+	rec := &routeRec{}
+	cfg.Client = rec
+	res := Run(cfg)
+	counts := map[int]int{}
+	for _, a := range rec.routes {
+		counts[a]++
+	}
+	n := int(res.Sent)
+	if len(rec.routes) != 4*n {
+		t.Fatalf("announced %d routes, want 4 per flow (%d)", len(rec.routes), 4*n)
+	}
+	for slot := 0; slot < 4; slot++ {
+		if counts[slot] != n {
+			t.Errorf("route slot %d announced %d times, want once per flow (%d); counts=%v",
+				slot, counts[slot], n, counts)
+		}
+	}
+}
+
 // A server faster than the hedge delay: the hedge timer is disarmed before
 // it fires, so no hedges launch at all.
 func TestHedgeNotLaunchedWhenFast(t *testing.T) {

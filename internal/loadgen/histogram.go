@@ -84,10 +84,16 @@ func (h *Histogram) Quantile(p float64) sim.Time {
 	for i, c := range h.buckets {
 		cum += c
 		if cum >= target {
-			// Report the bucket's upper edge, clamped to the observed
-			// maximum: a single 100 ns sample must report p50 = 100 ns, not
-			// the 250 ns bucket edge — a quantile may never exceed Max().
-			q := sim.Time(i+1) * histBucketSize
+			// Interpolate within the bucket instead of reporting its upper
+			// edge: with r of the bucket's c samples at or below the target
+			// rank, the quantile sits r/c of the way through the bucket.
+			// Reporting the edge biased every quantile upward by up to one
+			// bucket width — visible as inflated P50 at this 250 ns grain.
+			r := target - (cum - c)
+			q := sim.Time(i)*histBucketSize + sim.Time(uint64(histBucketSize)*r/c)
+			// Clamp to the observed maximum: a single 100 ns sample must
+			// report p50 = 100 ns, not the 250 ns bucket edge — a quantile
+			// may never exceed Max().
 			if q > h.max {
 				q = h.max
 			}

@@ -34,6 +34,61 @@ func TestQuantileAllSamplesInOverflow(t *testing.T) {
 	}
 }
 
+// Regression: quantiles interpolate within a bucket instead of reporting the
+// bucket's upper edge. Four samples recorded low in bucket 0 must yield a p50
+// of half a bucket width, not the full 250 ns edge — the edge bias inflated
+// P50 by up to one bucket at this resolution.
+func TestQuantileInterpolatesWithinBucket(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 4; i++ {
+		h.Record(240 * sim.Nanosecond) // all in bucket 0, near its top
+	}
+	cases := []struct {
+		p    float64
+		want sim.Time
+	}{
+		{0.25, histBucketSize / 4},
+		{0.50, histBucketSize / 2},
+		{0.75, 3 * histBucketSize / 4},
+		{1.00, 240 * sim.Nanosecond}, // upper edge clamps to the observed max
+	}
+	for _, c := range cases {
+		if q := h.Quantile(c.p); q != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, q, c.want)
+		}
+	}
+}
+
+// Boundary: one sample recorded exactly on a bucket edge lands in the upper
+// bucket, and every quantile still reports the sample itself (interpolation
+// reaches the bucket's far edge and the Max() clamp pulls it back).
+func TestQuantileOneSampleAtExactEdge(t *testing.T) {
+	h := NewHistogram()
+	h.Record(histBucketSize) // exactly 250 ns: first slot of bucket 1
+	for _, p := range []float64{0.01, 0.5, 0.99, 1} {
+		if q := h.Quantile(p); q != histBucketSize {
+			t.Errorf("Quantile(%v) = %v, want %v (the only sample)", p, q, histBucketSize)
+		}
+	}
+}
+
+// Boundary: with mass split evenly across two adjacent buckets, the median
+// falls exactly on the shared bucket edge and higher quantiles interpolate
+// into the second bucket.
+func TestQuantileExactEdgeBetweenBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100 * sim.Nanosecond) // bucket 0
+	h.Record(200 * sim.Nanosecond) // bucket 0
+	h.Record(300 * sim.Nanosecond) // bucket 1
+	h.Record(400 * sim.Nanosecond) // bucket 1
+	if q := h.Quantile(0.5); q != histBucketSize {
+		t.Errorf("Quantile(0.5) = %v, want the shared edge %v", q, histBucketSize)
+	}
+	if q := h.Quantile(0.75); q != histBucketSize+histBucketSize/2 {
+		t.Errorf("Quantile(0.75) = %v, want %v", q, histBucketSize+histBucketSize/2)
+	}
+}
+
 // Property: Quantile(p) <= Max() for arbitrary recorded distributions, and
 // quantiles are monotone non-decreasing in p.
 func TestQuantileNeverExceedsMax(t *testing.T) {

@@ -218,6 +218,11 @@ type flow struct {
 	measured bool
 	// attempts is the number of retries consumed (per flow, not per step).
 	attempts int
+	// route is the failover route index of the current primary. It tracks
+	// attempts except that an expired hedged pair advances it by two: the
+	// hedge consumed the next replica slot, so the retry must not re-route
+	// to the replica the hedge already tried.
+	route int
 	// timer is the pending deadline for the current attempt.
 	timer sim.Timer
 	// hedgeTimer is the pending hedge launch for the current attempt.
@@ -308,8 +313,8 @@ func Start(cfg Config) *Runner {
 	var sendStep func(f *flow)
 
 	// launchHedge fires the second racer of f's current attempt, routed as
-	// attempt index attempts+1 so failover routing picks a different
-	// replica than the primary.
+	// route index route+1 so failover routing picks a different replica
+	// than the primary.
 	launchHedge := func(f *flow) {
 		hid := nextID
 		nextID++
@@ -318,7 +323,7 @@ func Start(cfg Config) *Runner {
 		f.hedged = true
 		res.Hedges++
 		cfg.Tracer.Attempt(f.tr, hid, eng.Now())
-		announce(f.attempts + 1)
+		announce(f.route + 1)
 		payload := cfg.Client.BuildStep(hid, f.req, f.step)
 		cfg.EP.SendContiguous(payload, mem.UnpinnedSimAddr(payload))
 	}
@@ -332,7 +337,7 @@ func Start(cfg Config) *Runner {
 		// Register the attempt before posting: the NIC observer's marks for
 		// this frame resolve through the wire id registered here.
 		cfg.Tracer.Attempt(f.tr, id, eng.Now())
-		announce(f.attempts)
+		announce(f.route)
 		payload := cfg.Client.BuildStep(id, f.req, f.step)
 		cfg.EP.SendContiguous(payload, mem.UnpinnedSimAddr(payload))
 		if cfg.Hedge.enabled() {
@@ -362,6 +367,7 @@ func Start(cfg Config) *Runner {
 						cfg.Tracer.AttemptEnd(f.hedgeID)
 					}
 					f.hedged = false
+					f.route++ // the hedge consumed the next failover slot
 				}
 				willRetry := f.attempts < cfg.Retry.MaxRetries
 				cfg.Tracer.Timeout(f.tr, id, eng.Now(), willRetry)
@@ -376,6 +382,7 @@ func Start(cfg Config) *Runner {
 				// backoff, so synchronized clients do not retry in phase.
 				bo := cfg.Retry.backoffFor(f.attempts)
 				f.attempts++
+				f.route++
 				res.Retries++
 				delay := bo + jitter.Duration(bo/2)
 				if delay <= 0 {

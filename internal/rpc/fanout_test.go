@@ -1,0 +1,126 @@
+package rpc
+
+import (
+	"testing"
+
+	"cornflakes/internal/driver"
+	"cornflakes/internal/loadgen"
+	"cornflakes/internal/sim"
+)
+
+// Satellite: the fan-out/fan-in wasted-work ledger, pinned as a property
+// over a grid of fanouts, leaf slowdowns, deadlines, and rates.
+//
+// The invariant under test: a backend reply that arrives after its parent
+// already gave up (fan-in timeout or a sibling's failure) is WASTED work —
+// it must be classified as a late child reply, never double-counted as a
+// fan-in, and never resurrect the parent call. Exactly:
+//
+//	ChildCalls == ChildReplies + ChildSheds + ChildAbandoned   (disposal)
+//	LateChildReplies ≤ ChildAbandoned                          (waste bound)
+//	pending table empty after quiesce                          (no leaks)
+//
+// and the client's own disposal ledger stays exact through it all.
+func TestFanInLateReplyProperty(t *testing.T) {
+	type grid struct {
+		fanout    int
+		slowLeafs int      // how many leaves get pathological app cost
+		slowCy    float64  // their per-call app cycles
+		deadline  sim.Time // parent fan-in deadline
+		rate      float64
+		seed      uint64
+	}
+	cases := []grid{
+		{fanout: 2, slowLeafs: 1, slowCy: 400_000, deadline: 100 * sim.Microsecond, rate: 30_000, seed: 11},
+		{fanout: 3, slowLeafs: 1, slowCy: 900_000, deadline: 150 * sim.Microsecond, rate: 40_000, seed: 12},
+		{fanout: 4, slowLeafs: 2, slowCy: 600_000, deadline: 80 * sim.Microsecond, rate: 50_000, seed: 13},
+		{fanout: 2, slowLeafs: 0, slowCy: 0, deadline: 500 * sim.Microsecond, rate: 20_000, seed: 14},
+		{fanout: 3, slowLeafs: 3, slowCy: 700_000, deadline: 60 * sim.Microsecond, rate: 60_000, seed: 15},
+	}
+	var sawLate, sawTimeout bool
+	for _, g := range cases {
+		cfg := chainCfg(driver.SysCornflakes, 1, g.fanout)
+		cfg.CallTimeout = g.deadline
+		c := NewChain(cfg)
+		for i := 0; i < g.slowLeafs; i++ {
+			c.Leaves[i].AppCycles = g.slowCy
+		}
+		res := loadgen.Run(loadgen.Config{
+			Eng: c.Eng, EP: c.Client.N.UDP,
+			Gen: genConst{}, Client: c.Client,
+			RatePerS: g.rate,
+			Warmup:   100 * sim.Microsecond,
+			Measure:  1 * sim.Millisecond,
+			Seed:     g.seed,
+			Retry:    loadgen.RetryPolicy{Deadline: 2 * sim.Millisecond},
+			ShedID:   driver.ShedID,
+		})
+		c.Eng.Run() // every straggler reply and armed timer resolves
+
+		assertDisposalExact(t, res)
+		assertLedgers(t, c)
+		parent := c.Services[0]
+		if parent.LateChildReplies > parent.ChildAbandoned {
+			t.Errorf("fanout=%d: %d late replies exceed %d abandoned children",
+				g.fanout, parent.LateChildReplies, parent.ChildAbandoned)
+		}
+		// A late reply must not complete the parent: completions require a
+		// full fan-in, so the client can never see more completions than
+		// the parent fully-fanned-in calls.
+		full := parent.Handled - parent.ChildTimeouts
+		if res.Completed > full {
+			t.Errorf("fanout=%d: %d completions exceed %d fully fanned-in calls",
+				g.fanout, res.Completed, full)
+		}
+		sawLate = sawLate || parent.LateChildReplies > 0
+		sawTimeout = sawTimeout || parent.ChildTimeouts > 0
+	}
+	// The grid must actually exercise the phenomenon, or the property is
+	// vacuous.
+	if !sawLate {
+		t.Error("no grid case produced a late child reply")
+	}
+	if !sawTimeout {
+		t.Error("no grid case produced a fan-in timeout")
+	}
+}
+
+// A sibling's failure abandons the rest of the fan-out: their replies are
+// wasted work, and exactly one upstream failure is sent per parent call.
+func TestFanInSiblingFailureAbandonsRest(t *testing.T) {
+	cfg := chainCfg(driver.SysCornflakes, 1, 3)
+	cfg.CallTimeout = 2 * sim.Millisecond // generous: failures, not timeouts
+	c := NewChain(cfg)
+	// One leaf is slow with a one-deep admission bound: once its queue
+	// backs up it sheds fast, so a failing parent call sees one quick
+	// failure plus two healthy (now pointless) replies.
+	c.Leaves[0].ShedQueue = 1
+	c.Leaves[0].AppCycles = 300_000
+	res := loadgen.Run(loadgen.Config{
+		Eng: c.Eng, EP: c.Client.N.UDP,
+		Gen: genConst{}, Client: c.Client,
+		RatePerS: 40_000,
+		Warmup:   100 * sim.Microsecond,
+		Measure:  1 * sim.Millisecond,
+		Seed:     21,
+		Retry:    loadgen.RetryPolicy{Deadline: 3 * sim.Millisecond},
+		ShedID:   driver.ShedID,
+	})
+	c.Eng.Run()
+
+	parent := c.Services[0]
+	if parent.ChildSheds == 0 {
+		t.Fatal("no child ever shed")
+	}
+	assertDisposalExact(t, res)
+	assertLedgers(t, c)
+	// Each failed parent call wrote off its outstanding siblings; their
+	// replies arrived anyway and were classified as waste.
+	if parent.ChildAbandoned == 0 || parent.LateChildReplies == 0 {
+		t.Fatalf("sibling failure produced no abandoned/late children (abandoned=%d late=%d)",
+			parent.ChildAbandoned, parent.LateChildReplies)
+	}
+	if res.Shed == 0 {
+		t.Fatal("client never saw the propagated failure")
+	}
+}

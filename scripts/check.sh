@@ -26,7 +26,10 @@ go test -short ./internal/experiments -run 'TestChaosSmoke|TestChaosDeterministi
 go test -short ./internal/driver -run 'TestClusterCrashRecovery|TestCrashDrainsPending|TestFailoverRouting'
 go test -short ./internal/loadgen -run 'TestHedge|TestBucketCompleted'
 
-echo "== parallel-harness fingerprint gate (serial == parallel across every experiment, cluster included)"
+echo "== rpc chain smoke (call/reply framing, fan-in, shed propagation, NIC offload)"
+go test -short ./internal/rpc -run 'TestSingleHopAllSystems|TestShedPropagatesUpstream|TestFanInLateReplyProperty|TestOffloadMovesSerializationOffHost'
+
+echo "== parallel-harness fingerprint gate (serial == parallel across every experiment, rpc included)"
 go test ./internal/experiments -run 'TestSerialParallelFingerprints|TestFingerprintSensitivity'
 
 echo "== zero-alloc hot-path pins (DES engine, core, meter, cache fill)"
