@@ -1,12 +1,14 @@
-// Command benchjson folds two `go test -bench -benchmem` outputs — one
-// serial (CF_PARALLEL=1), one parallel (CF_PARALLEL=0 → GOMAXPROCS) — into
-// a single JSON perf record (BENCH_N.json). The record is the repo's perf
-// trajectory: each PR appends a file, so regressions in wall-clock or
+// Command benchjson folds `go test -bench -benchmem` outputs — one serial
+// (CF_PARALLEL=1), one parallel (CF_PARALLEL=0 → GOMAXPROCS), and
+// optionally one partitioned (CF_PARTITION=1, per-node event queues) —
+// into a single JSON perf record (BENCH_N.json). The record is the repo's
+// perf trajectory: each PR appends a file, so regressions in wall-clock or
 // allocation discipline are visible in review rather than discovered later.
 //
 // Usage:
 //
-//	benchjson -serial serial.txt -parallel parallel.txt -out BENCH_7.json
+//	benchjson -serial serial.txt -parallel parallel.txt \
+//	    -partitioned partitioned.txt -out BENCH_9.json
 package main
 
 import (
@@ -62,31 +64,36 @@ func parse(path string) (map[string]sample, []string, error) {
 }
 
 type entry struct {
-	Name             string  `json:"name"`
-	SerialNsOp       float64 `json:"serial_ns_op"`
-	ParallelNsOp     float64 `json:"parallel_ns_op,omitempty"`
-	SpeedupParallel  float64 `json:"speedup_parallel,omitempty"`
-	SerialBOp        int64   `json:"serial_b_op"`
-	SerialAllocsOp   int64   `json:"serial_allocs_op"`
-	ParallelAllocsOp int64   `json:"parallel_allocs_op,omitempty"`
+	Name               string  `json:"name"`
+	SerialNsOp         float64 `json:"serial_ns_op"`
+	ParallelNsOp       float64 `json:"parallel_ns_op,omitempty"`
+	SpeedupParallel    float64 `json:"speedup_parallel,omitempty"`
+	PartitionedNsOp    float64 `json:"partitioned_ns_op,omitempty"`
+	SpeedupPartitioned float64 `json:"speedup_partitioned,omitempty"`
+	SerialBOp          int64   `json:"serial_b_op"`
+	SerialAllocsOp     int64   `json:"serial_allocs_op"`
+	ParallelAllocsOp   int64   `json:"parallel_allocs_op,omitempty"`
 }
 
 type record struct {
-	Schema       string  `json:"schema"`
-	GeneratedAt  string  `json:"generated_at"`
-	GoVersion    string  `json:"go_version"`
-	HostCores    int     `json:"host_cores"`
-	Workers      int     `json:"parallel_workers"`
-	Note         string  `json:"note,omitempty"`
-	Benchmarks   []entry `json:"benchmarks"`
-	TotalSerial  float64 `json:"total_serial_ns"`
-	TotalParall  float64 `json:"total_parallel_ns"`
-	TotalSpeedup float64 `json:"total_speedup"`
+	Schema        string  `json:"schema"`
+	GeneratedAt   string  `json:"generated_at"`
+	GoVersion     string  `json:"go_version"`
+	HostCores     int     `json:"host_cores"`
+	Workers       int     `json:"parallel_workers"`
+	Note          string  `json:"note,omitempty"`
+	Benchmarks    []entry `json:"benchmarks"`
+	TotalSerial   float64 `json:"total_serial_ns"`
+	TotalParall   float64 `json:"total_parallel_ns"`
+	TotalSpeedup  float64 `json:"total_speedup"`
+	TotalPartit   float64 `json:"total_partitioned_ns,omitempty"`
+	SpeedupPartit float64 `json:"total_speedup_partitioned,omitempty"`
 }
 
 func main() {
 	serialPath := flag.String("serial", "", "bench output with CF_PARALLEL=1")
 	parallelPath := flag.String("parallel", "", "bench output with CF_PARALLEL unset (GOMAXPROCS workers)")
+	partitionedPath := flag.String("partitioned", "", "bench output with CF_PARTITION=1 (per-node event-queue shards)")
 	out := flag.String("out", "", "output JSON path (stdout if empty)")
 	note := flag.String("note", "", "free-form context (host caveats, scale)")
 	flag.Parse()
@@ -107,6 +114,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	partitioned := map[string]sample{}
+	if *partitionedPath != "" {
+		partitioned, _, err = parse(*partitionedPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
 	rec := record{
 		Schema:      "cornflakes-bench/v1",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -115,6 +130,7 @@ func main() {
 		Workers:     runtime.GOMAXPROCS(0),
 		Note:        *note,
 	}
+	serialOfPartit := 0.0
 	for _, name := range order {
 		s := serial[name]
 		e := entry{
@@ -132,10 +148,24 @@ func main() {
 			}
 			rec.TotalParall += p.NsOp
 		}
+		if p, ok := partitioned[name]; ok {
+			e.PartitionedNsOp = p.NsOp
+			if p.NsOp > 0 {
+				e.SpeedupPartitioned = s.NsOp / p.NsOp
+			}
+			rec.TotalPartit += p.NsOp
+			serialOfPartit += s.NsOp
+		}
 		rec.Benchmarks = append(rec.Benchmarks, e)
 	}
 	if rec.TotalParall > 0 {
 		rec.TotalSpeedup = rec.TotalSerial / rec.TotalParall
+	}
+	// The partitioned pass covers only the multi-node benchmarks, so its
+	// total speedup compares against the serial time of those same
+	// benchmarks, not the whole suite.
+	if rec.TotalPartit > 0 {
+		rec.SpeedupPartit = serialOfPartit / rec.TotalPartit
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestForEachEdgeCases pins the fan-out boundaries: n=0 must return without
+// calling fn (and without spawning workers that would race the empty
+// counter), and w>n must clamp to n so no goroutine spins on an exhausted
+// counter.
+func TestForEachEdgeCases(t *testing.T) {
+	t.Run("n=0", func(t *testing.T) {
+		for _, w := range []int{0, 1, 4} {
+			called := false
+			forEach(w, 0, func(i int) { called = true })
+			if called {
+				t.Errorf("w=%d: fn called for n=0", w)
+			}
+		}
+	})
+
+	t.Run("w>n", func(t *testing.T) {
+		var mu sync.Mutex
+		seen := map[int]int{}
+		forEach(16, 3, func(i int) {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+		})
+		if len(seen) != 3 {
+			t.Fatalf("saw %d distinct indices, want 3: %v", len(seen), seen)
+		}
+		for i := 0; i < 3; i++ {
+			if seen[i] != 1 {
+				t.Errorf("index %d called %d times, want exactly once", i, seen[i])
+			}
+		}
+	})
+
+	t.Run("serial order", func(t *testing.T) {
+		// w<=1 is the serial degenerate case: loop order, calling goroutine.
+		var order []int
+		forEach(1, 4, func(i int) { order = append(order, i) })
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("serial forEach out of order: %v", order)
+			}
+		}
+	})
+}

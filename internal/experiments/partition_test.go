@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestSerialPartitionedFingerprints is the determinism gate for the
+// parallel-in-time engine: running the multi-node experiments with every
+// node on its own event-queue shard (Scale.Partition) must produce reports
+// byte-identical to the serial engine's — same tables, same check
+// evidence, same artifacts. The partitioned engine's total event order
+// (at, schedAt, src, seq) is exactly the serial (at, seq) order, so
+// anything but identity is a synchronization bug. scripts/check.sh runs
+// this test explicitly (including under -race).
+func TestSerialPartitionedFingerprints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("run pair per experiment; skipped in -short")
+	}
+	// The experiments that build multi-node racks — the only ones the
+	// Partition knob reaches.
+	ids := []string{"cluster", "chaos", "rpc"}
+	sort.Strings(ids)
+	tiny := Scale{StoreKeys: 200, MeasureMs: 2, WarmupMs: 1, SweepPoints: 2, Cores: 4}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			fn := All()[id]
+			if fn == nil {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			part := tiny
+			part.Partition = true
+
+			repS := fn(tiny)
+			repP := fn(part)
+			if fpS, fpP := repS.Fingerprint(), repP.Fingerprint(); fpS != fpP {
+				t.Errorf("%s: serial fingerprint %016x != partitioned %016x", id, fpS, fpP)
+				if s, p := repS.String(), repP.String(); s != p {
+					t.Logf("serial report:\n%s\npartitioned report:\n%s", s, p)
+				}
+				for name, data := range repS.Artifacts {
+					if string(repP.Artifacts[name]) != string(data) {
+						t.Errorf("%s: artifact %s differs between serial and partitioned", id, name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionComposesWithWorkers pins the two parallelism axes as
+// orthogonal: sweep-point fan-out (Workers) across partitioned points
+// still reproduces the serial fingerprint.
+func TestPartitionComposesWithWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three cluster sweeps; skipped in -short")
+	}
+	tiny := Scale{StoreKeys: 200, MeasureMs: 2, WarmupMs: 1, SweepPoints: 2, Cores: 4}
+	both := tiny
+	both.Partition = true
+	both.Workers = 4
+
+	ref := Cluster(tiny).Fingerprint()
+	got := Cluster(both).Fingerprint()
+	if ref != got {
+		t.Errorf("cluster: serial fingerprint %016x != partitioned+workers %016x", ref, got)
+	}
+}

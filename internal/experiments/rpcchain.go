@@ -312,6 +312,10 @@ func rpcAt(sc Scale, o rpcOpts) rpcPoint {
 		CallTimeout: rpcFanInTimeout,
 		Offload:     o.Offload,
 		Tracer:      o.Tracer,
+		// A traced point stays serial: one trace.Tracer collects marks from
+		// every tier, and that shared sink is the one piece of state the
+		// partition isolation contract cannot cover.
+		Partition: sc.Partition && o.Tracer == nil,
 	}
 	c := rpc.NewChain(cfg)
 	if o.ShedQueue > 0 {
@@ -321,7 +325,7 @@ func rpcAt(sc Scale, o rpcOpts) rpcPoint {
 		deep.ShedQueue = o.ShedQueue
 	}
 	lcfg := loadgen.Config{
-		Eng: c.Eng, EP: c.Client.N.UDP,
+		Eng: c.Client.N.Eng, Exec: c.Exec, EP: c.Client.N.UDP,
 		Gen: rpcGen{}, Client: c.Client,
 		RatePerS: o.Rate,
 		Warmup:   sim.Time(sc.WarmupMs) * sim.Millisecond,
@@ -335,7 +339,7 @@ func rpcAt(sc Scale, o rpcOpts) rpcPoint {
 		lcfg.Hedge = loadgen.HedgePolicy{Delay: o.HedgeDelay}
 	}
 	res := loadgen.Run(lcfg)
-	c.Eng.Run() // quiesce: fan-in timers, stragglers, late replies
+	c.Exec.Run() // quiesce: fan-in timers, stragglers, late replies
 
 	p := rpcPoint{
 		Depth: o.Depth, Fanout: o.Fanout, Offload: o.Offload,

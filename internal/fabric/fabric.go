@@ -36,15 +36,24 @@ import (
 // Config describes the switch.
 type Config struct {
 	// Port is the profile of every switch-side egress port. The zero value
-	// selects TorPortProfile(100).
+	// selects TorPortProfile(100). (A zero Profile itself is not a valid
+	// port — its rates divide by zero — so the sentinel costs nothing.)
 	Port nic.Profile
 	// LatencyNs is the fixed store-and-forward switching delay per frame.
-	// Zero selects 300 ns, a typical cut-through ToR pipeline plus lookup.
+	// Zero selects 300 ns, a typical ToR pipeline plus lookup; ExplicitZero
+	// (any negative value) selects a genuinely zero-latency cut-through
+	// stage, which the zero-as-unset sentinel could not express.
 	LatencyNs float64
 	// EgressDepth bounds each output queue in frames; beyond it the switch
-	// tail-drops. Zero selects 256.
+	// tail-drops. Zero selects 256; ExplicitZero forwards nothing (every
+	// frame tail-drops), the degenerate bound a backpressure test wants.
 	EgressDepth int
 }
+
+// ExplicitZero marks a Config field as deliberately zero where the zero
+// value means "unset, use the default". Any negative value works; this
+// constant names the intent. New normalizes it to an actual zero.
+const ExplicitZero = -1
 
 // DefaultConfig returns the standard 100 Gbps ToR configuration.
 func DefaultConfig() Config {
@@ -115,15 +124,22 @@ type Switch struct {
 	misrouted uint64
 }
 
-// New builds a switch on eng. Zero-valued Config fields take defaults.
+// New builds a switch on eng. Zero-valued Config fields take defaults;
+// negative values (ExplicitZero) normalize to an actual zero.
 func New(eng *sim.Engine, cfg Config) *Switch {
 	if cfg.Port.Name == "" {
 		cfg.Port = TorPortProfile(100)
 	}
-	if cfg.LatencyNs == 0 {
+	switch {
+	case cfg.LatencyNs < 0:
+		cfg.LatencyNs = 0
+	case cfg.LatencyNs == 0:
 		cfg.LatencyNs = 300
 	}
-	if cfg.EgressDepth == 0 {
+	switch {
+	case cfg.EgressDepth < 0:
+		cfg.EgressDepth = 0
+	case cfg.EgressDepth == 0:
 		cfg.EgressDepth = 256
 	}
 	return &Switch{eng: eng, cfg: cfg}
@@ -137,11 +153,19 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 // carry zeroed headers) are visibly unroutable rather than silently
 // delivered to the first endpoint.
 func (s *Switch) PlugIn(prof nic.Profile, propagation sim.Time) (*nic.Port, byte) {
+	return s.PlugInOn(s.eng, prof, propagation)
+}
+
+// PlugInOn is PlugIn with the endpoint-side port on its own engine — the
+// partitioned topology builder places each endpoint on its partition's
+// shard while the switch-side ports stay on the switch's shard. With
+// epEng == the switch's engine this is exactly PlugIn.
+func (s *Switch) PlugInOn(epEng *sim.Engine, prof nic.Profile, propagation sim.Time) (*nic.Port, byte) {
 	if len(s.ports) >= 255 {
 		panic("fabric: switch port space exhausted")
 	}
 	addr := byte(len(s.ports) + 1)
-	ep, sw := nic.Link(s.eng, prof, s.cfg.Port, propagation)
+	ep, sw := nic.LinkOn(epEng, s.eng, prof, s.cfg.Port, propagation)
 	p := &swPort{addr: addr, link: sw}
 	sw.SetHandler(func(f *nic.Frame) { s.ingress(p, f) })
 	sw.Observer = func(rec nic.TxRecord) { s.egressDone(p, rec) }
@@ -216,7 +240,9 @@ func (s *Switch) egressDone(q *swPort, rec nic.TxRecord) {
 // wire serialization — the same terms nic.Port charges, with no queueing.
 func unloadedNs(prof nic.Profile, bytes, entries int) float64 {
 	db := prof.DoorbellNs
-	if db == 0 {
+	if db < 0 { // ExplicitZero: genuinely free doorbell
+		db = 0
+	} else if db == 0 {
 		db = prof.PacketOccupancyNs
 	}
 	occ := db + prof.EntryOccupancyNs*float64(entries) + float64(bytes)*8/prof.DMAGbps

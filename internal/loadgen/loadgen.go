@@ -99,7 +99,14 @@ func (p RetryPolicy) backoffFor(k int) sim.Time {
 
 // Config drives one load generation run.
 type Config struct {
+	// Eng is the engine the client's activity is scheduled on — in a
+	// partitioned topology, the client node's own shard.
 	Eng *sim.Engine
+	// Exec, when set, is what Run/RunMany drive instead of Eng — a
+	// partitioned topology's coordinator (driver.Rack.Exec). Scheduling
+	// stays on Eng; only the run loop moves. Nil means drive Eng directly,
+	// the serial behavior.
+	Exec sim.Runner
 	// EP is the client-side endpoint (its meter is the client's own CPU,
 	// which is not the measured resource — the paper's load generator has
 	// 16 threads on a dedicated machine).
@@ -253,8 +260,16 @@ type Runner struct {
 // Run executes one open-loop run and returns the measured result.
 func Run(cfg Config) Result {
 	ru := Start(cfg)
-	cfg.Eng.RunUntil(ru.Horizon())
+	cfg.runner().RunUntil(ru.Horizon())
 	return ru.Finish()
+}
+
+// runner returns what drives the engine loop: Exec when set, else Eng.
+func (cfg Config) runner() sim.Runner {
+	if cfg.Exec != nil {
+		return cfg.Exec
+	}
+	return cfg.Eng
 }
 
 // Start schedules one open-loop run on cfg.Eng and returns its Runner.
@@ -587,7 +602,7 @@ func RunMany(cfgs []Config) []Result {
 			horizon = ru.Horizon()
 		}
 	}
-	cfgs[0].Eng.RunUntil(horizon)
+	cfgs[0].runner().RunUntil(horizon)
 	out := make([]Result, len(runners))
 	for i, ru := range runners {
 		out[i] = ru.Finish()

@@ -60,9 +60,15 @@ type Profile struct {
 	// cost of fetching a fresh batch of descriptors after a tail-pointer
 	// write. Zero means PacketOccupancyNs (the default profiles fold the
 	// doorbell into the per-packet cost, which is exactly what batching
-	// amortizes: only the first frame of a burst pays it).
+	// amortizes: only the first frame of a burst pays it). ExplicitZero
+	// (any negative value) means a free doorbell.
 	DoorbellNs float64
 }
+
+// ExplicitZero marks a Profile or link knob as deliberately zero where the
+// zero value itself means "unset, use the default". Any negative value
+// works; this constant names the intent.
+const ExplicitZero = -1
 
 // MellanoxCX5Ex models the CloudLab c6525-100g NIC used for the §5
 // measurement study.
@@ -259,8 +265,19 @@ type Port struct {
 // Link connects two new ports with the given profiles and one-way
 // propagation delay (wire + switch).
 func Link(eng *sim.Engine, a, b Profile, propagation sim.Time) (*Port, *Port) {
-	pa := &Port{eng: eng, prof: a, propag: propagation}
-	pb := &Port{eng: eng, prof: b, propag: propagation}
+	return LinkOn(eng, eng, a, b, propagation)
+}
+
+// LinkOn is Link with the two ends on (possibly) different engines — the
+// partitioned-mode topology builder puts each end on its partition's shard.
+// Deliveries are scheduled on the *receiving* port's engine via
+// sim.AtFrom, which is the identical call when both ends share one engine.
+// The propagation delay is the link's contribution to the partition
+// lookahead: it must be ≥ the coordinator's lookahead bound for the
+// conservative windows to be sound (sim.Engine panics on a violation).
+func LinkOn(engA, engB *sim.Engine, a, b Profile, propagation sim.Time) (*Port, *Port) {
+	pa := &Port{eng: engA, prof: a, propag: propagation}
+	pb := &Port{eng: engB, prof: b, propag: propagation}
 	pa.peer = pb
 	pb.peer = pa
 	return pa, pb
@@ -284,8 +301,14 @@ func (e *ErrTooManyEntries) Error() string {
 
 // doorbellNs returns the per-doorbell DMA occupancy: the explicit
 // DoorbellNs knob if set, else PacketOccupancyNs (the default profiles fold
-// the doorbell cost into the per-packet cost).
+// the doorbell cost into the per-packet cost). A negative DoorbellNs
+// (ExplicitZero) means a genuinely free doorbell — without the sentinel a
+// zero-cost doorbell was indistinguishable from "unset" and silently
+// charged the per-packet fallback.
 func (p *Port) doorbellNs() float64 {
+	if p.prof.DoorbellNs < 0 {
+		return 0
+	}
 	if p.prof.DoorbellNs > 0 {
 		return p.prof.DoorbellNs
 	}
@@ -418,7 +441,12 @@ func (p *Port) send(entries []SGEntry, doorbellNs float64) error {
 		}
 		if p.Interceptor == nil {
 			observe(false)
-			p.eng.At(txDone+p.propag, func() { arrive(data) })
+			// Delivery runs on the receiver's engine: with both ends on one
+			// engine this is exactly p.eng.At; across partitions it crosses
+			// into the peer shard's inbox. Either way the sender-side stats
+			// that arrive() bumps (DeliveredFrames/Bytes) are written only by
+			// the peer's shard, disjoint from the fields this closure writes.
+			peer.eng.AtFrom(p.eng, txDone+p.propag, func() { arrive(data) })
 			return
 		}
 		// The hardware computed the FCS over the pristine frame; each wire
@@ -449,7 +477,7 @@ func (p *Port) send(entries []SGEntry, doorbellNs float64) error {
 				depart = p.txFree
 			}
 			frame := d.Data
-			p.eng.At(depart+p.propag+extra, func() {
+			peer.eng.AtFrom(p.eng, depart+p.propag+extra, func() {
 				if frameFCS(frame) != fcs {
 					peer.RxFCSErrors++
 					return

@@ -10,6 +10,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync"
 )
 
 // Time is a point on (or a span of) the virtual timeline, in picoseconds.
@@ -59,12 +60,21 @@ func FromMicros(us float64) Time { return Time(us * float64(Microsecond)) }
 // FromSeconds converts a second count to a Time.
 func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 
-// event is a scheduled callback. seq breaks ties between events scheduled
-// for the same instant: earlier-scheduled events fire first.
+// event is a scheduled callback. Ties between events at the same instant
+// break by (schedAt, src, seq): the virtual time the event was scheduled
+// at, the rank of the engine that scheduled it, then its per-engine
+// sequence number. On a lone engine this collapses to the historical
+// earlier-scheduled-fires-first order — seq increases monotonically with
+// scheduling order, schedAt is nondecreasing along it, and src is constant
+// — so the extended key is behavior-neutral serially. It exists for the
+// partitioned engine, where events merged from several shards need a total
+// order that no shard's execution interleaving can perturb.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at      Time
+	schedAt Time
+	src     int32
+	seq     uint64
+	fn      func()
 	// index within the heap, maintained by heap.Interface methods so that
 	// cancellation can remove an event in O(log n).
 	index int
@@ -81,6 +91,12 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].schedAt != h[j].schedAt {
+		return h[i].schedAt < h[j].schedAt
+	}
+	if h[i].src != h[j].src {
+		return h[i].src < h[j].src
 	}
 	return h[i].seq < h[j].seq
 }
@@ -106,6 +122,8 @@ func (h *eventHeap) Pop() any {
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; all simulated components run on the engine's goroutine.
+// (A partitioned run gives every shard its own Engine; cross-shard
+// scheduling goes through AtFrom's mutex-protected inbox, never the heap.)
 type Engine struct {
 	now     Time
 	events  eventHeap
@@ -118,6 +136,29 @@ type Engine struct {
 	// makes steady-state scheduling allocation-free: every fired or
 	// cancelled event returns here and the next At reuses it.
 	free []*event
+
+	// Shard identity, zero-valued on a plain engine: rank orders this
+	// shard among its siblings (part of the deterministic event key) and
+	// owner points at the coordinating PartitionedEngine. The inbox
+	// receives cross-shard events from AtFrom; it is the only
+	// engine-internal state touched from other goroutines, and only under
+	// inboxMu. The coordinator drains it into the heap at round barriers.
+	rank       int32
+	owner      *PartitionedEngine
+	inboxMu    sync.Mutex
+	inbox      []crossEvent
+	inboxSpare []crossEvent
+}
+
+// crossEvent is one cross-shard scheduling request, carrying the full
+// deterministic sort key assigned at the source: the merged heap order
+// depends only on the keys, never on the mutex interleaving of appends.
+type crossEvent struct {
+	at      Time
+	schedAt Time
+	src     int32
+	seq     uint64
+	fn      func()
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -173,18 +214,65 @@ func (e *Engine) At(at Time, fn func()) Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
+	ev := e.newEvent(at, e.now, e.rank, e.seq, fn)
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Timer{e: e, ev: ev, gen: ev.gen}
+}
+
+// newEvent takes an event struct off the free list (or allocates one) and
+// fills in the full sort key.
+func (e *Engine) newEvent(at, schedAt Time, src int32, seq uint64, fn func()) *event {
 	var ev *event
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.fn = at, e.seq, fn
+		ev.at, ev.schedAt, ev.src, ev.seq, ev.fn = at, schedAt, src, seq, fn
 	} else {
-		ev = &event{at: at, seq: e.seq, fn: fn}
+		ev = &event{at: at, schedAt: schedAt, src: src, seq: seq, fn: fn}
 	}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return Timer{e: e, ev: ev, gen: ev.gen}
+	return ev
+}
+
+// AtFrom schedules fn on e at absolute time at, on behalf of code running
+// on the src engine. With src == e (or either engine outside a partitioned
+// run) it is exactly At. Across shards of one PartitionedEngine it appends
+// a cross event to e's inbox instead of touching e's heap: the event
+// carries (at, src.now, src.rank, src.seq) as its deterministic sort key,
+// and the coordinator merges it into e's heap at the next round barrier.
+// The destination time must respect the partition lookahead: at least
+// src.now plus the coordinator's lookahead, checked when the inbox drains.
+func (e *Engine) AtFrom(src *Engine, at Time, fn func()) {
+	if src == e || e.owner == nil || src.owner != e.owner {
+		e.At(at, fn)
+		return
+	}
+	ce := crossEvent{at: at, schedAt: src.now, src: src.rank, seq: src.seq, fn: fn}
+	src.seq++
+	e.inboxMu.Lock()
+	e.inbox = append(e.inbox, ce)
+	e.inboxMu.Unlock()
+}
+
+// drainInbox merges queued cross events into the heap. Called only by the
+// coordinator between rounds (never concurrently with the shard running).
+// An event landing before the shard's clock means a sender violated the
+// lookahead bound — a modelling bug exactly like scheduling in the past.
+func (e *Engine) drainInbox() {
+	e.inboxMu.Lock()
+	pending := e.inbox
+	e.inbox = e.inboxSpare[:0]
+	e.inboxMu.Unlock()
+	for i := range pending {
+		ce := &pending[i]
+		if ce.at < e.now {
+			panic(fmt.Sprintf("sim: cross-shard event at %v before shard now %v (lookahead violated)", ce.at, e.now))
+		}
+		heap.Push(&e.events, e.newEvent(ce.at, ce.schedAt, ce.src, ce.seq, ce.fn))
+		ce.fn = nil // release the closure promptly on reuse
+	}
+	e.inboxSpare = pending[:0]
 }
 
 // After schedules fn to run d after the current time.
@@ -196,13 +284,22 @@ func (e *Engine) After(d Time, fn func()) Timer {
 }
 
 // Stop makes Run return after the currently executing event completes.
-// Pending events stay queued and a later Run call resumes them.
-func (e *Engine) Stop() { e.stopped = true }
+// Pending events stay queued and a later Run call resumes them. A Stop
+// issued while the engine is not running is sticky: the next Run or
+// RunUntil observes it and returns before executing anything. Each run
+// consumes at most one stop — the flag clears when a run returns. On a
+// shard of a PartitionedEngine, Stop also stops the coordinator (the whole
+// partitioned run ends at the current round's barrier).
+func (e *Engine) Stop() {
+	e.stopped = true
+	if e.owner != nil {
+		e.owner.Stop()
+	}
+}
 
 // Run executes events in timestamp order until no events remain or Stop is
 // called. It returns the time of the last executed event.
 func (e *Engine) Run() Time {
-	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
 		ev := heap.Pop(&e.events).(*event)
 		e.now = ev.at
@@ -214,13 +311,16 @@ func (e *Engine) Run() Time {
 		e.recycle(ev)
 		fn()
 	}
+	e.stopped = false
 	return e.now
 }
 
 // RunUntil executes events with timestamps ≤ deadline, then advances the
-// clock to the deadline. Events scheduled beyond the deadline remain queued.
+// clock to the deadline. Events scheduled beyond the deadline remain
+// queued. A Stop — pending from before the call, or fired mid-run — leaves
+// the clock at the last executed event rather than jumping it to the
+// deadline.
 func (e *Engine) RunUntil(deadline Time) Time {
-	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
 		ev := e.events[0]
 		if ev.at > deadline {
@@ -236,7 +336,28 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	if !e.stopped && e.now < deadline {
 		e.now = deadline
 	}
+	e.stopped = false
 	return e.now
+}
+
+// runWindow executes events with timestamps strictly below limit, leaving
+// the clock at the last executed event. It is the per-round shard step of
+// a partitioned run: the coordinator guarantees (via the lookahead bound)
+// that no cross-shard event can still land inside [now, limit), so the
+// window is safe to execute without consulting any other shard.
+func (e *Engine) runWindow(limit Time) {
+	for len(e.events) > 0 && !e.stopped {
+		ev := e.events[0]
+		if ev.at >= limit {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		e.processed++
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
+	}
 }
 
 // Pending returns the number of queued events.

@@ -132,6 +132,95 @@ func TestEngineStop(t *testing.T) {
 	}
 }
 
+// TestStopStickyBetweenRuns is the regression test for the lost-Stop bug:
+// Run/RunUntil used to reset the stopped flag on entry, so a Stop issued
+// while the engine was idle (harness teardown, a fault plan arming between
+// windows) was silently dropped and the next run executed everything.
+func TestStopStickyBetweenRuns(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(10, func() { count++ })
+
+	e.Stop() // engine not running: must stick until the next run observes it
+	e.Run()
+	if count != 0 {
+		t.Fatalf("pre-run Stop was lost: %d events executed", count)
+	}
+	// The observed stop is consumed; the run after it proceeds normally.
+	e.Run()
+	if count != 1 {
+		t.Fatalf("stop was not consumed: resumed run executed %d events, want 1", count)
+	}
+}
+
+// TestStopStickyBeforeRunUntil is the RunUntil half of the regression: the
+// pending stop must both suppress execution and keep the clock from
+// jumping to the deadline.
+func TestStopStickyBeforeRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(10, func() { count++ })
+	e.Stop()
+	if now := e.RunUntil(100); now != 0 || count != 0 {
+		t.Fatalf("pre-run Stop lost by RunUntil: now=%v count=%d, want 0 and 0", now, count)
+	}
+	if now := e.RunUntil(100); now != 100 || count != 1 {
+		t.Fatalf("resume after Stop: now=%v count=%d, want 100 and 1", now, count)
+	}
+}
+
+// TestRunUntilDeadlineInclusive pins the boundary: an event scheduled
+// exactly at the deadline executes in this run, not the next.
+func TestRunUntilDeadlineInclusive(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.At(25, func() { fired = append(fired, Time(25)) })
+	e.At(26, func() { fired = append(fired, Time(26)) })
+	if now := e.RunUntil(25); now != 25 {
+		t.Errorf("RunUntil returned %v, want 25", now)
+	}
+	if len(fired) != 1 || fired[0] != 25 {
+		t.Errorf("fired %v, want exactly the deadline event", fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want the post-deadline event", e.Pending())
+	}
+}
+
+// TestRunUntilStopMidRunKeepsClock: a Stop fired by an event inside a
+// RunUntil window must leave the clock at that event, not jump it to the
+// deadline — the stopper's view of "now" is the whole point of stopping.
+func TestRunUntilStopMidRunKeepsClock(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() { e.Stop() })
+	e.At(20, func() {})
+	if now := e.RunUntil(100); now != 10 {
+		t.Errorf("RunUntil returned %v after mid-run Stop, want 10", now)
+	}
+	if e.Now() != 10 {
+		t.Errorf("clock %v, want pinned at the stopping event", e.Now())
+	}
+	if now := e.RunUntil(100); now != 100 || e.Pending() != 0 {
+		t.Errorf("resume: now=%v pending=%d, want 100 and 0", now, e.Pending())
+	}
+}
+
+// TestRunUntilPastDeadline: a deadline at or before Now executes nothing
+// and never moves the clock backwards.
+func TestRunUntilPastDeadline(t *testing.T) {
+	e := NewEngine()
+	e.At(50, func() {})
+	e.Run()
+	if e.Now() != 50 {
+		t.Fatalf("setup: clock %v, want 50", e.Now())
+	}
+	count := 0
+	e.At(60, func() { count++ })
+	if now := e.RunUntil(40); now != 50 || count != 0 {
+		t.Errorf("RunUntil(40) from 50: now=%v count=%d, want clock held at 50 and nothing run", now, count)
+	}
+}
+
 func TestTimerCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false

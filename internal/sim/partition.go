@@ -1,0 +1,240 @@
+// Conservative parallel-in-time execution: a PartitionedEngine coordinates
+// several shard Engines — one per topology partition (a rack node, a
+// client, the switch) — so one big topology can use every host core while
+// remaining bit-identical to the serial engine.
+//
+// The synchronization protocol is classic conservative PDES with a global
+// lookahead window. Every simulated interaction between partitions crosses
+// a link with at least `lookahead` of delay (wire propagation), so an
+// event executing at time t on one shard can only schedule onto another
+// shard at t+lookahead or later. Each round the coordinator:
+//
+//  1. drains every shard's cross-event inbox into its heap (the barrier —
+//     nothing runs while this happens);
+//  2. finds T, the earliest pending event across all shards;
+//  3. runs every shard with work in [T, T+lookahead) concurrently — the
+//     window is exclusive at the top because an event executing at
+//     T+lookahead-1 may emit a cross event landing exactly at T+lookahead;
+//  4. waits for all of them (the next barrier).
+//
+// Within a round, shards touch only their own engine's heap and their own
+// partition's component state; the single cross-shard channel is AtFrom's
+// mutex-protected inbox. Determinism does not depend on goroutine
+// scheduling: every event — local or merged — carries a total-order key
+// (at, schedAt, src rank, per-source seq), so each shard's heap pops in
+// the same order no matter how the inbox appends interleaved, and that
+// order matches the serial engine's (time, seq) order (see event's doc
+// comment). The experiments' fingerprint gate pins the equivalence
+// byte-for-byte; scripts/check.sh runs it under the race detector.
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner is the engine surface the harness drives a run through. Both
+// *Engine and *PartitionedEngine satisfy it, so testbeds expose one Exec
+// handle and the experiments never branch on the engine mode.
+type Runner interface {
+	Now() Time
+	Run() Time
+	RunUntil(deadline Time) Time
+	Stop()
+	Pending() int
+	Processed() uint64
+}
+
+var (
+	_ Runner = (*Engine)(nil)
+	_ Runner = (*PartitionedEngine)(nil)
+)
+
+// PartitionedEngine runs a set of shard Engines under lookahead barriers.
+// Build it with NewPartitionedEngine, create the shards with NewShard
+// while wiring the topology, then drive it exactly like an Engine. With a
+// single shard it degenerates to the serial engine running in windows —
+// same events, same order, same clocks.
+type PartitionedEngine struct {
+	shards    []*Engine
+	lookahead Time
+	now       Time
+	stopped   atomic.Bool
+	active    []*Engine // per-round scratch
+}
+
+// NewPartitionedEngine builds a coordinator with the given lookahead: the
+// minimum cross-partition delay, i.e. a lower bound on how far ahead of
+// the globally earliest event every shard may safely run. It must not
+// exceed the smallest delay of any link that crosses a partition boundary;
+// larger is faster (wider windows, fewer barriers), zero still terminates
+// (every round executes exactly one timestamp).
+func NewPartitionedEngine(lookahead Time) *PartitionedEngine {
+	if lookahead < 0 {
+		lookahead = 0
+	}
+	return &PartitionedEngine{lookahead: lookahead}
+}
+
+// NewShard creates the next partition's engine. Call during topology
+// construction, before the first Run. The creation order fixes each
+// shard's rank, which is part of the deterministic event key — so, like
+// switch plug-in order, it is part of a scenario's identity.
+func (p *PartitionedEngine) NewShard() *Engine {
+	e := &Engine{rank: int32(len(p.shards)), owner: p}
+	p.shards = append(p.shards, e)
+	return e
+}
+
+// Shards returns the number of partitions.
+func (p *PartitionedEngine) Shards() int { return len(p.shards) }
+
+// Lookahead returns the configured lookahead bound.
+func (p *PartitionedEngine) Lookahead() Time { return p.lookahead }
+
+// Now returns the coordinator clock: the latest executed event time after
+// Run, the deadline after an uninterrupted RunUntil. Between calls it is
+// only advanced at barriers, never mid-round.
+func (p *PartitionedEngine) Now() Time { return p.now }
+
+// Stop makes the run return at the current round's barrier. Like
+// Engine.Stop it is sticky until a run observes it, and each run consumes
+// at most one stop. (The serial engine stops after the current *event*;
+// the partitioned engine can only stop after the current *round* — within
+// a round there is no global order to stop at.)
+func (p *PartitionedEngine) Stop() { p.stopped.Store(true) }
+
+// Run executes events until no work remains on any shard or Stop is
+// called, and returns the time of the latest executed event.
+func (p *PartitionedEngine) Run() Time { return p.run(0, false) }
+
+// RunUntil executes events with timestamps ≤ deadline, then advances every
+// shard clock (and the coordinator clock) to the deadline, mirroring
+// Engine.RunUntil — including leaving the clocks at the last executed
+// event when stopped.
+func (p *PartitionedEngine) RunUntil(deadline Time) Time { return p.run(deadline, true) }
+
+// Pending returns the queued event count across all shards and inboxes.
+func (p *PartitionedEngine) Pending() int {
+	n := 0
+	for _, s := range p.shards {
+		n += len(s.events)
+		s.inboxMu.Lock()
+		n += len(s.inbox)
+		s.inboxMu.Unlock()
+	}
+	return n
+}
+
+// Processed returns the total events executed across all shards.
+func (p *PartitionedEngine) Processed() uint64 {
+	var n uint64
+	for _, s := range p.shards {
+		n += s.processed
+	}
+	return n
+}
+
+// shardWork is one round's assignment for one shard.
+type shardWork struct {
+	s     *Engine
+	limit Time
+}
+
+const maxTime = Time(math.MaxInt64)
+
+// run is the round loop behind Run and RunUntil. Worker goroutines live
+// only for the duration of this call: they are spawned on entry when more
+// than one can be useful and torn down on every exit path, so a sweep
+// harness building thousands of partitioned testbeds leaks nothing.
+func (p *PartitionedEngine) run(deadline Time, bounded bool) Time {
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(p.shards) {
+		nw = len(p.shards)
+	}
+	var (
+		workCh chan shardWork
+		wg     sync.WaitGroup
+	)
+	if nw > 1 {
+		workCh = make(chan shardWork)
+		for i := 0; i < nw; i++ {
+			go func() {
+				for w := range workCh {
+					w.s.runWindow(w.limit)
+					wg.Done()
+				}
+			}()
+		}
+		defer close(workCh)
+	}
+
+	for !p.stopped.Load() {
+		// Barrier: merge cross events, find the global next-event time.
+		T := maxTime
+		for _, s := range p.shards {
+			s.drainInbox()
+			if len(s.events) > 0 && s.events[0].at < T {
+				T = s.events[0].at
+			}
+		}
+		if T == maxTime || (bounded && T > deadline) {
+			break
+		}
+		limit := T + p.lookahead
+		if limit <= T {
+			// Zero lookahead (or addition past the Time range): execute the
+			// earliest timestamp only. Correct, just one round per instant.
+			limit = T + 1
+		}
+		if bounded && limit > deadline {
+			// The deadline is inclusive (RunUntil executes events at exactly
+			// the deadline); the window top is exclusive.
+			limit = deadline + 1
+		}
+		active := p.active[:0]
+		for _, s := range p.shards {
+			if len(s.events) > 0 && s.events[0].at < limit {
+				active = append(active, s)
+			}
+		}
+		p.active = active
+		if nw <= 1 || len(active) == 1 {
+			for _, s := range active {
+				s.runWindow(limit)
+			}
+			continue
+		}
+		wg.Add(len(active))
+		for _, s := range active {
+			workCh <- shardWork{s: s, limit: limit}
+		}
+		wg.Wait()
+	}
+
+	stopped := p.stopped.Load()
+	now := p.now
+	for _, s := range p.shards {
+		if s.now > now {
+			now = s.now
+		}
+	}
+	if bounded && !stopped {
+		if now < deadline {
+			now = deadline
+		}
+		for _, s := range p.shards {
+			if s.now < deadline {
+				s.now = deadline
+			}
+		}
+	}
+	p.now = now
+	p.stopped.Store(false)
+	for _, s := range p.shards {
+		s.stopped = false
+	}
+	return now
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// ppNode is one end of the ping-pong fixture. Its log is appended only by
+// events executing on its own engine, so partitioned runs write it
+// race-free and the content is a pure function of the event order.
+type ppNode struct {
+	eng *Engine
+	log []string
+}
+
+// pingPong wires two nodes exchanging messages over a fixed cross-node
+// delay: two independent streams ("ab" starting at a, "ba" starting at b)
+// bounce back and forth for the given number of hops. Works identically
+// with both nodes on one plain engine (AtFrom degenerates to At) or on two
+// shards of a PartitionedEngine.
+func pingPong(a, b *ppNode, delay Time, hops int) {
+	var send func(from, to *ppNode, name string, n int)
+	send = func(from, to *ppNode, name string, n int) {
+		if n >= hops {
+			return
+		}
+		to.eng.AtFrom(from.eng, from.eng.Now()+delay, func() {
+			to.log = append(to.log, fmt.Sprintf("%s@%v#%d", name, to.eng.Now(), n))
+			send(to, from, name, n+1)
+		})
+	}
+	a.eng.At(0, func() { send(a, b, "ab", 0) })
+	b.eng.At(0, func() { send(b, a, "ba", 0) })
+}
+
+// serialPingPong replays the identical exchange with both nodes on one
+// plain engine and returns the two logs.
+func serialPingPong(delay Time, hops int) (alog, blog []string) {
+	e := NewEngine()
+	a, b := &ppNode{eng: e}, &ppNode{eng: e}
+	pingPong(a, b, delay, hops)
+	e.Run()
+	return a.log, b.log
+}
+
+func diffLogs(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d events, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s event %d: got %q, want %q", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestPartitionedMatchesSerial pins the core contract: a partitioned
+// exchange executes the same events at the same times in the same order as
+// the identical serial schedule.
+func TestPartitionedMatchesSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const delay, hops = 500 * Nanosecond, 50
+	p := NewPartitionedEngine(delay)
+	a, b := &ppNode{eng: p.NewShard()}, &ppNode{eng: p.NewShard()}
+	pingPong(a, b, delay, hops)
+	end := p.Run()
+
+	wantA, wantB := serialPingPong(delay, hops)
+	diffLogs(t, "node a", a.log, wantA)
+	diffLogs(t, "node b", b.log, wantB)
+	if wantEnd := Time(hops) * delay; end != wantEnd {
+		t.Errorf("Run returned %v, want %v", end, wantEnd)
+	}
+	if p.Processed() == 0 || p.Pending() != 0 {
+		t.Errorf("processed=%d pending=%d after full run", p.Processed(), p.Pending())
+	}
+}
+
+// TestPartitionedDeterministicAcrossWidths runs the same topology single-
+// threaded and wide; the logs must be identical because event order is
+// fixed by the (at, schedAt, src, seq) key, not by goroutine scheduling.
+func TestPartitionedDeterministicAcrossWidths(t *testing.T) {
+	const delay, hops = 300 * Nanosecond, 40
+	run := func(procs int) ([]string, []string) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		p := NewPartitionedEngine(delay)
+		a, b := &ppNode{eng: p.NewShard()}, &ppNode{eng: p.NewShard()}
+		pingPong(a, b, delay, hops)
+		p.Run()
+		return a.log, b.log
+	}
+	a1, b1 := run(1)
+	a8, b8 := run(8)
+	diffLogs(t, "node a", a8, a1)
+	diffLogs(t, "node b", b8, b1)
+}
+
+// TestPartitionedRunUntil mirrors the serial RunUntil contract on the
+// coordinator: inclusive deadline, clocks advanced to it, later events kept.
+func TestPartitionedRunUntil(t *testing.T) {
+	const delay = 1 * Microsecond
+	p := NewPartitionedEngine(delay)
+	a, b := p.NewShard(), p.NewShard()
+	var fired []string
+	a.At(2*Microsecond, func() { fired = append(fired, "a2") })
+	b.At(3*Microsecond, func() {
+		fired = append(fired, "b3")
+		a.AtFrom(b, b.Now()+delay, func() { fired = append(fired, "a4") })
+	})
+	b.At(5*Microsecond, func() { fired = append(fired, "b5") })
+
+	// Deadline exactly on the cross event: it must execute (inclusive).
+	if got := p.RunUntil(4 * Microsecond); got != 4*Microsecond {
+		t.Fatalf("RunUntil returned %v, want 4µs", got)
+	}
+	if want := []string{"a2", "b3", "a4"}; fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	if a.Now() != 4*Microsecond || b.Now() != 4*Microsecond {
+		t.Errorf("shard clocks %v/%v, want both at the deadline", a.Now(), b.Now())
+	}
+	if p.Pending() != 1 {
+		t.Fatalf("pending %d, want the 5µs event", p.Pending())
+	}
+	p.Run()
+	if fired[len(fired)-1] != "b5" {
+		t.Errorf("resumed run did not execute the queued event: %v", fired)
+	}
+}
+
+// TestPartitionedStickyStop mirrors the serial sticky-Stop contract: a stop
+// issued before Run is observed by it (nothing executes), consumed by it,
+// and a second Run proceeds normally.
+func TestPartitionedStickyStop(t *testing.T) {
+	p := NewPartitionedEngine(Microsecond)
+	a := p.NewShard()
+	ran := 0
+	a.At(Microsecond, func() { ran++ })
+
+	p.Stop()
+	p.Run()
+	if ran != 0 {
+		t.Fatalf("pre-run Stop was lost: %d events executed", ran)
+	}
+	p.Run()
+	if ran != 1 {
+		t.Fatalf("stop was not consumed: second run executed %d events", ran)
+	}
+}
+
+// TestShardStopStopsCoordinator pins Stop's escalation: a component calling
+// Stop on its own shard mid-run ends the whole partitioned run at the
+// round's barrier, and RunUntil then leaves clocks un-jumped.
+func TestShardStopStopsCoordinator(t *testing.T) {
+	const delay = 1 * Microsecond
+	p := NewPartitionedEngine(delay)
+	a, b := p.NewShard(), p.NewShard()
+	var late int
+	a.At(Microsecond, func() { a.Stop() })
+	b.At(10*Microsecond, func() { late++ })
+
+	p.RunUntil(20 * Microsecond)
+	if late != 0 {
+		t.Fatalf("run continued past a shard Stop: late event fired")
+	}
+	if p.Now() >= 10*Microsecond {
+		t.Errorf("coordinator clock %v jumped toward the deadline despite Stop", p.Now())
+	}
+	// The stop is consumed; a resumed run finishes the queue.
+	p.RunUntil(20 * Microsecond)
+	if late != 1 || p.Now() != 20*Microsecond {
+		t.Errorf("resume after Stop: late=%d now=%v, want 1 and 20µs", late, p.Now())
+	}
+}
+
+// TestLookaheadViolationPanics guards the conservative contract: a
+// cross-shard event landing closer than the lookahead (here: in the past
+// of a shard that already advanced) must panic loudly, not corrupt time.
+func TestLookaheadViolationPanics(t *testing.T) {
+	p := NewPartitionedEngine(10 * Microsecond) // lookahead wider than the real link
+	a, b := p.NewShard(), p.NewShard()
+	a.At(0, func() {
+		// Claims a 1µs link inside a 10µs-lookahead partition: b may already
+		// be past 1µs when the round ends.
+		b.AtFrom(a, a.Now()+Microsecond, func() {})
+	})
+	b.At(2*Microsecond, func() {})
+	b.At(4*Microsecond, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookahead violation did not panic")
+		}
+	}()
+	p.Run()
+}
+
+// TestAtFromOutsidePartitionIsAt pins the degenerate cases: same engine or
+// plain engines — AtFrom must behave exactly like At so component code can
+// use it unconditionally.
+func TestAtFromOutsidePartitionIsAt(t *testing.T) {
+	e1, e2 := NewEngine(), NewEngine()
+	ran := 0
+	e1.AtFrom(e1, Microsecond, func() { ran++ })   // same engine
+	e1.AtFrom(e2, 2*Microsecond, func() { ran++ }) // both plain
+	e1.Run()
+	if ran != 2 {
+		t.Fatalf("AtFrom outside a partition executed %d of 2 events", ran)
+	}
+	if e1.Pending() != 0 {
+		t.Errorf("events left in heap: %d", e1.Pending())
+	}
+}
+
+// TestSingleShardBitIdentical runs a nontrivial self-scheduling workload on
+// a lone shard and on a plain engine; clocks, processed counts, and the
+// trace must agree exactly.
+func TestSingleShardBitIdentical(t *testing.T) {
+	workload := func(e *Engine) *[]Time {
+		trace := &[]Time{}
+		var step func(n int)
+		step = func(n int) {
+			if n >= 64 {
+				return
+			}
+			e.After(Time(100+n*7)*Nanosecond, func() {
+				*trace = append(*trace, e.Now())
+				step(n + 1)
+			})
+		}
+		step(0)
+		return trace
+	}
+
+	plain := NewEngine()
+	wantTrace := workload(plain)
+	wantEnd := plain.Run()
+
+	p := NewPartitionedEngine(Microsecond)
+	s := p.NewShard()
+	gotTrace := workload(s)
+	gotEnd := p.Run()
+
+	if gotEnd != wantEnd {
+		t.Fatalf("end clock %v, want %v", gotEnd, wantEnd)
+	}
+	if p.Processed() != plain.Processed() {
+		t.Fatalf("processed %d, want %d", p.Processed(), plain.Processed())
+	}
+	if fmt.Sprint(*gotTrace) != fmt.Sprint(*wantTrace) {
+		t.Fatalf("traces differ:\nshard: %v\nplain: %v", *gotTrace, *wantTrace)
+	}
+}
