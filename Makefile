@@ -1,4 +1,7 @@
-.PHONY: check check-fast test bench bench-raw trace-demo
+.PHONY: check check-fast test bench bench-raw trace-demo profile
+
+# Experiment to profile with `make profile` (any id from cf-bench -list).
+PROFILE_EXP ?= fig3
 
 # Full gate: vet + build + race-enabled tests (includes the 100-scenario
 # fault-injection soak).
@@ -28,6 +31,18 @@ bench:
 
 bench-raw:
 	go test -bench=. -benchmem
+
+# Profile one experiment's serial hot loop (default fig3; override with
+# PROFILE_EXP=fig5 etc.). Writes artifacts/<exp>-{cpu,mem}.prof and prints
+# the top CPU consumers. Drill in with:
+#   go tool pprof artifacts/$(PROFILE_EXP)-cpu.prof
+#   go tool pprof -sample_index=alloc_objects artifacts/$(PROFILE_EXP)-mem.prof
+profile:
+	mkdir -p artifacts
+	go run ./cmd/cf-bench -exp $(PROFILE_EXP) -quick -parallel 1 \
+		-cpuprofile artifacts/$(PROFILE_EXP)-cpu.prof \
+		-memprofile artifacts/$(PROFILE_EXP)-mem.prof
+	go tool pprof -top -nodecount 20 artifacts/$(PROFILE_EXP)-cpu.prof
 
 # Traced overload run: writes artifacts/trace-trace.json, a Chrome
 # trace-event file of per-request span timelines (open it in

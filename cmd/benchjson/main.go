@@ -8,7 +8,13 @@
 // Usage:
 //
 //	benchjson -serial serial.txt -parallel parallel.txt \
-//	    -partitioned partitioned.txt -out BENCH_9.json
+//	    -partitioned partitioned.txt -prev BENCH_9.json -out BENCH_10.json
+//
+// -prev points at the previous committed record: each benchmark present in
+// both records gains speedup_vs_prev (prev serial / current serial) and
+// allocs_vs_prev (current − prev allocs/op), and the record totals gain
+// total_speedup_vs_prev over the matched set. Times compare whatever hosts
+// produced the two records; allocs/op is host-independent.
 package main
 
 import (
@@ -73,6 +79,13 @@ type entry struct {
 	SerialBOp          int64   `json:"serial_b_op"`
 	SerialAllocsOp     int64   `json:"serial_allocs_op"`
 	ParallelAllocsOp   int64   `json:"parallel_allocs_op,omitempty"`
+	// SpeedupVsPrev compares this record's serial time against the same
+	// benchmark in the -prev record (prev / current; >1 is faster now).
+	// AllocsVsPrev is the allocs/op delta (current − prev; negative is
+	// leaner). Both are wall-clock-honest: they compare runs on whatever
+	// hosts produced the two records, so read them alongside the notes.
+	SpeedupVsPrev float64 `json:"speedup_vs_prev,omitempty"`
+	AllocsVsPrev  *int64  `json:"allocs_vs_prev,omitempty"`
 }
 
 type record struct {
@@ -82,12 +95,27 @@ type record struct {
 	HostCores     int     `json:"host_cores"`
 	Workers       int     `json:"parallel_workers"`
 	Note          string  `json:"note,omitempty"`
+	PrevRecord    string  `json:"prev_record,omitempty"`
 	Benchmarks    []entry `json:"benchmarks"`
 	TotalSerial   float64 `json:"total_serial_ns"`
 	TotalParall   float64 `json:"total_parallel_ns"`
 	TotalSpeedup  float64 `json:"total_speedup"`
 	TotalPartit   float64 `json:"total_partitioned_ns,omitempty"`
 	SpeedupPartit float64 `json:"total_speedup_partitioned,omitempty"`
+	SpeedupVsPrev float64 `json:"total_speedup_vs_prev,omitempty"`
+}
+
+// loadPrev reads an earlier record for speedup_vs_prev comparisons.
+func loadPrev(path string) (*record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
 }
 
 func main() {
@@ -96,6 +124,7 @@ func main() {
 	partitionedPath := flag.String("partitioned", "", "bench output with CF_PARTITION=1 (per-node event-queue shards)")
 	out := flag.String("out", "", "output JSON path (stdout if empty)")
 	note := flag.String("note", "", "free-form context (host caveats, scale)")
+	prevPath := flag.String("prev", "", "previous BENCH_*.json to compute speedup_vs_prev against")
 	flag.Parse()
 	if *serialPath == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -serial is required")
@@ -122,6 +151,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	var prev *record
+	prevByName := map[string]entry{}
+	if *prevPath != "" {
+		prev, err = loadPrev(*prevPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		for _, e := range prev.Benchmarks {
+			prevByName[e.Name] = e
+		}
+	}
 	rec := record{
 		Schema:      "cornflakes-bench/v1",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -131,6 +172,7 @@ func main() {
 		Note:        *note,
 	}
 	serialOfPartit := 0.0
+	prevSerialMatched, curSerialMatched := 0.0, 0.0
 	for _, name := range order {
 		s := serial[name]
 		e := entry{
@@ -156,6 +198,13 @@ func main() {
 			rec.TotalPartit += p.NsOp
 			serialOfPartit += s.NsOp
 		}
+		if pe, ok := prevByName[name]; ok && pe.SerialNsOp > 0 && s.NsOp > 0 {
+			e.SpeedupVsPrev = pe.SerialNsOp / s.NsOp
+			d := s.AllocsOp - pe.SerialAllocsOp
+			e.AllocsVsPrev = &d
+			prevSerialMatched += pe.SerialNsOp
+			curSerialMatched += s.NsOp
+		}
 		rec.Benchmarks = append(rec.Benchmarks, e)
 	}
 	if rec.TotalParall > 0 {
@@ -166,6 +215,12 @@ func main() {
 	// benchmarks, not the whole suite.
 	if rec.TotalPartit > 0 {
 		rec.SpeedupPartit = serialOfPartit / rec.TotalPartit
+	}
+	// Like the partitioned total: compare only the benchmarks present in
+	// both records, so a renamed or added benchmark can't skew the ratio.
+	if prev != nil && curSerialMatched > 0 {
+		rec.PrevRecord = *prevPath
+		rec.SpeedupVsPrev = prevSerialMatched / curSerialMatched
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -181,5 +236,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (%d benchmarks, total speedup x%.2f)\n", *out, len(rec.Benchmarks), rec.TotalSpeedup)
+	fmt.Printf("wrote %s (%d benchmarks, total speedup x%.2f", *out, len(rec.Benchmarks), rec.TotalSpeedup)
+	if rec.SpeedupVsPrev > 0 {
+		fmt.Printf(", x%.2f vs %s", rec.SpeedupVsPrev, rec.PrevRecord)
+	}
+	fmt.Println(")")
 }

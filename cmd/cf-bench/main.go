@@ -11,6 +11,12 @@
 //	cf-bench -chaos               # crash/flap/gray fault scenarios (-exp chaos)
 //	cf-bench -rpc                 # serializer-aware RPC chains over the rack (-exp rpc)
 //	cf-bench -exp fig7 -parallel 4  # fan sweep points across 4 goroutines
+//	cf-bench -exp fig3 -quick -parallel 1 -cpuprofile cpu.prof
+//	cf-bench -exp fig5 -quick -parallel 1 -memprofile mem.prof
+//
+// -cpuprofile/-memprofile write pprof profiles of the experiment runs (use
+// -parallel 1 so samples land on the serial hot loops rather than sweep
+// workers); `make profile` wraps the common invocation.
 //
 // -parallel (default GOMAXPROCS) only changes wall-clock: sweep points run
 // on independent testbeds and merge in point order, so reports are
@@ -32,6 +38,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -39,6 +46,12 @@ import (
 )
 
 func main() {
+	// Indirection so the profile-flushing defers run even when shape
+	// checks fail: os.Exit directly in this body would skip them.
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	batch := flag.Bool("batch", false, "shorthand for -exp batching (batched RX/TX datapath sweep)")
 	cluster := flag.Bool("cluster", false, "shorthand for -exp cluster (multi-node ToR-switch scale-out grid)")
@@ -52,6 +65,8 @@ func main() {
 		"sweep fan-out width: independent sweep points run on up to N goroutines (1 = serial); reports are byte-identical at any width")
 	partition := flag.Bool("partition", false,
 		"run each multi-node sweep point on the parallel-in-time engine (per-node event-queue shards between lookahead barriers); reports are byte-identical either way")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file (inspect with go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file after the runs (alloc_space shows the serialization-path allocators)")
 	flag.Parse()
 
 	all := experiments.All()
@@ -64,7 +79,7 @@ func main() {
 		for _, id := range ids {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 
 	sc := experiments.Full()
@@ -85,6 +100,40 @@ func main() {
 	}
 	if *rpcExp {
 		*exp = "rpc"
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cf-bench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cf-bench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cf-bench: wrote CPU profile %s (go tool pprof %s)\n", *cpuprofile, *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cf-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush unreached allocations so alloc_space is complete
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "cf-bench:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "cf-bench: wrote allocation profile %s (go tool pprof -sample_index=alloc_space %s)\n", path, path)
+		}()
 	}
 
 	done, total := 0, 1
@@ -147,6 +196,7 @@ func main() {
 		okAll = run(*exp)
 	}
 	if !okAll {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -8,6 +8,15 @@
 // Reproducing that mechanism requires an explicit cache model over the
 // simulated address space, not just fixed per-operation constants.
 //
+// Replacement state is stamp-based LRU: each level keeps flat tags[] and
+// stamps[] arrays indexed by set×way and a per-level monotone clock. A hit
+// is one stamp store; a fill scans the set for the minimum stamp. Because
+// every touch assigns a fresh, unique, monotonically increasing stamp, the
+// minimum-stamp way is exactly the least-recently-used way, so eviction
+// order is identical to a positional (MRU-ordered list) LRU — see
+// lru_equivalence_test.go, which differences this implementation against
+// the retained positional reference model.
+//
 // Addresses are simulated "physical" addresses handed out by internal/mem.
 // Costs are returned in CPU cycles (float64) and converted to virtual time
 // by internal/costmodel.
@@ -76,11 +85,20 @@ func DefaultConfig() Config {
 	}
 }
 
-// level is one set-associative cache level.
+// level is one set-associative cache level. tags and stamps are flat
+// set-major arrays (way w of set s lives at s*ways+w). A stamp of zero
+// marks an empty way: the clock starts at zero and is pre-incremented
+// before every store, so live stamps are always ≥ 1. Empty ways are filled
+// front-to-back before any eviction, matching the reference model's
+// grow-until-full behavior, and never reappear except via flushAll.
 type level struct {
 	cfg     LevelConfig
-	sets    [][]uint64 // per-set MRU-ordered line tags (full line addresses)
 	numSets int
+	ways    int
+	pow2    bool // set index via mask instead of modulo
+	tags    []uint64
+	stamps  []uint64
+	clock   uint64
 	// stats
 	hits, misses uint64
 }
@@ -93,19 +111,35 @@ func newLevel(cfg LevelConfig) *level {
 	if numSets <= 0 {
 		numSets = 1
 	}
-	sets := make([][]uint64, numSets)
-	return &level{cfg: cfg, sets: sets, numSets: numSets}
+	n := numSets * cfg.Ways
+	return &level{
+		cfg:     cfg,
+		numSets: numSets,
+		ways:    cfg.Ways,
+		pow2:    numSets&(numSets-1) == 0,
+		tags:    make([]uint64, n),
+		stamps:  make([]uint64, n),
+	}
 }
 
-// lookup probes for line addr (already line-aligned). On hit it refreshes
-// LRU order and returns true. On miss it returns false without filling.
+func (l *level) setIndex(line uint64) int {
+	if l.pow2 {
+		return int((line / LineSize) & uint64(l.numSets-1))
+	}
+	return int((line / LineSize) % uint64(l.numSets))
+}
+
+// lookup probes for line addr (already line-aligned). On hit it restamps
+// the way — an O(1) LRU update — and returns true. On miss it returns
+// false without filling.
 func (l *level) lookup(line uint64) bool {
-	set := l.sets[l.setIndex(line)]
-	for i, tag := range set {
-		if tag == line {
-			// Move to front (MRU).
-			copy(set[1:i+1], set[:i])
-			set[0] = line
+	base := l.setIndex(line) * l.ways
+	tags := l.tags[base : base+l.ways]
+	stamps := l.stamps[base : base+l.ways : base+l.ways]
+	for i, tag := range tags {
+		if tag == line && stamps[i] != 0 {
+			l.clock++
+			stamps[i] = l.clock
 			l.hits++
 			return true
 		}
@@ -114,52 +148,48 @@ func (l *level) lookup(line uint64) bool {
 	return false
 }
 
-// fill inserts line, evicting the LRU way if the set is full. Returns the
-// evicted line and true if an eviction happened. Sets are materialized
-// lazily at full associativity capacity, so after a set's first fill the
-// MRU insert is an in-place shift — no allocation on the steady-state path.
+// fill inserts line, evicting the minimum-stamp (LRU) way if the set is
+// full. Returns the evicted line and true if an eviction happened. The
+// caller guarantees line is not already present (fill only runs after a
+// missed lookup at this level).
 func (l *level) fill(line uint64) (uint64, bool) {
-	idx := l.setIndex(line)
-	set := l.sets[idx]
-	if len(set) < l.cfg.Ways {
-		if cap(set) < l.cfg.Ways {
-			grown := make([]uint64, len(set), l.cfg.Ways)
-			copy(grown, set)
-			set = grown
+	base := l.setIndex(line) * l.ways
+	stamps := l.stamps[base : base+l.ways : base+l.ways]
+	min := 0
+	for i, s := range stamps {
+		if s == 0 {
+			l.clock++
+			l.tags[base+i] = line
+			stamps[i] = l.clock
+			return 0, false
 		}
-		set = set[:len(set)+1]
-		copy(set[1:], set)
-		set[0] = line
-		l.sets[idx] = set
-		return 0, false
+		if s < stamps[min] {
+			min = i
+		}
 	}
-	victim := set[len(set)-1]
-	copy(set[1:], set[:len(set)-1])
-	set[0] = line
+	victim := l.tags[base+min]
+	l.clock++
+	l.tags[base+min] = line
+	stamps[min] = l.clock
 	return victim, true
 }
 
-func (l *level) setIndex(line uint64) int {
-	return int((line / LineSize) % uint64(l.numSets))
-}
-
-// contains probes without touching LRU state or stats.
+// contains probes without touching stamps, stats, or the clock.
 func (l *level) contains(line uint64) bool {
-	set := l.sets[l.setIndex(line)]
-	for _, tag := range set {
-		if tag == line {
+	base := l.setIndex(line) * l.ways
+	for i, tag := range l.tags[base : base+l.ways] {
+		if tag == line && l.stamps[base+i] != 0 {
 			return true
 		}
 	}
 	return false
 }
 
-// flushAll drops every line (used by experiments to start cold). Capacity
-// is kept so refills after a flush stay allocation-free.
+// flushAll drops every line (used by experiments to start cold) by zeroing
+// the stamps; tags and the clock are kept, so refills after a flush stay
+// allocation-free and later stamps remain globally unique.
 func (l *level) flushAll() {
-	for i := range l.sets {
-		l.sets[i] = l.sets[i][:0]
-	}
+	clear(l.stamps)
 }
 
 // Stats for one level.
@@ -170,11 +200,17 @@ type LevelStats struct {
 // Hierarchy is a three-level cache in front of DRAM. L3 may be shared with
 // other hierarchies (see NewShared) to model multiple cores.
 type Hierarchy struct {
-	cfg      Config
-	l1, l2   *level
-	l3       *level
-	ownsL3   bool
-	lastLine uint64 // last line filled from DRAM, for stream detection
+	cfg    Config
+	l1, l2 *level
+	l3     *level
+	ownsL3 bool
+	// streamNext/streamValid track the sequential DRAM fill stream for
+	// prefetch detection: streamNext is the line that would continue the
+	// stream, valid only when streamValid is set. (An earlier version kept
+	// a lastLine sentinel where zero meant "no stream", conflating a reset
+	// with a legitimate fill of line 0.)
+	streamNext  uint64
+	streamValid bool
 	// DRAMAccesses counts accesses that went all the way to memory.
 	DRAMAccesses uint64
 }
@@ -210,6 +246,13 @@ func (h *Hierarchy) Access(addr uint64) (HitLevel, float64) {
 	if h.l1.lookup(line) {
 		return HitL1, h.cfg.L1.LatencyCy
 	}
+	return h.missBelowL1(line)
+}
+
+// missBelowL1 resolves a line that already missed (and was counted by) L1:
+// probe L2 and L3, fill upward, and charge DRAM with stream detection on a
+// full miss.
+func (h *Hierarchy) missBelowL1(line uint64) (HitLevel, float64) {
 	if h.l2.lookup(line) {
 		h.l1.fill(line)
 		return HitL2, h.cfg.L2.LatencyCy
@@ -225,37 +268,72 @@ func (h *Hierarchy) Access(addr uint64) (HitLevel, float64) {
 	h.l2.fill(line)
 	h.l1.fill(line)
 	cost := h.cfg.DRAMLatencyCy
-	if h.lastLine != 0 && line == h.lastLine+LineSize {
+	if h.streamValid && line == h.streamNext {
 		// Sequential miss stream: the prefetcher has this line in flight.
 		cost = h.cfg.StreamFillCy
 	}
-	h.lastLine = line
+	h.streamNext = line + LineSize
+	h.streamValid = true
 	return HitDRAM, cost
 }
 
 // AccessRange touches every line in [addr, addr+n) and returns the total
 // cycle cost plus the number of lines that missed to DRAM.
+//
+// This is the batched fast path for the copy/scatter-gather loops that
+// dominate paper workloads: the L1 probe is inlined and the L1 set index
+// advances by increment-and-wrap (consecutive lines map to consecutive
+// sets), so a range already resident in L1 costs one restamp per line with
+// no division, no per-line call, and nothing touched below L1. Lines that
+// miss fall into the same missBelowL1 path Access uses, so costs, stats,
+// stream detection, and eviction order are exactly those of a per-line
+// Access loop (range_equivalence_test.go pins this).
 func (h *Hierarchy) AccessRange(addr uint64, n int) (cycles float64, dramLines int) {
 	if n <= 0 {
 		return 0, 0
 	}
-	first := addr &^ uint64(LineSize-1)
-	last := (addr + uint64(n) - 1) &^ uint64(LineSize-1)
-	for line := first; ; line += LineSize {
-		lvl, c := h.Access(line)
-		cycles += c
-		if lvl == HitDRAM {
-			dramLines++
+	line := addr &^ uint64(LineSize-1)
+	nLines := int((addr+uint64(n)-1)/LineSize-line/LineSize) + 1
+	l1 := h.l1
+	idx := l1.setIndex(line)
+	l1Cy := h.cfg.L1.LatencyCy
+	for k := 0; k < nLines; k++ {
+		base := idx * l1.ways
+		tags := l1.tags[base : base+l1.ways]
+		stamps := l1.stamps[base : base+l1.ways : base+l1.ways]
+		hit := false
+		for i, tag := range tags {
+			if tag == line && stamps[i] != 0 {
+				l1.clock++
+				stamps[i] = l1.clock
+				hit = true
+				break
+			}
 		}
-		if line == last {
-			break
+		if hit {
+			l1.hits++
+			cycles += l1Cy
+		} else {
+			l1.misses++
+			lvl, c := h.missBelowL1(line)
+			cycles += c
+			if lvl == HitDRAM {
+				dramLines++
+			}
+		}
+		line += LineSize
+		idx++
+		if idx == l1.numSets {
+			idx = 0
 		}
 	}
 	return cycles, dramLines
 }
 
 // Contains reports the highest (fastest) level currently holding addr, or
-// HitDRAM if no level holds it. It does not disturb LRU state.
+// HitDRAM if no level holds it. It does not disturb stamps, stats, or
+// stream state, so interleaving probes with accesses leaves the eviction
+// sequence unchanged (contains_neutrality_test.go).
 func (h *Hierarchy) Contains(addr uint64) HitLevel {
 	line := addr &^ uint64(LineSize-1)
 	switch {
@@ -280,14 +358,15 @@ func (h *Hierarchy) Stats() [3]LevelStats {
 }
 
 // Flush empties every private level; the L3 is flushed only if owned (the
-// hierarchy that created a shared L3 owns it).
+// hierarchy that created a shared L3 owns it). Stream-detection state is
+// invalidated so the first post-flush DRAM fill always pays full latency.
 func (h *Hierarchy) Flush() {
 	h.l1.flushAll()
 	h.l2.flushAll()
 	if h.ownsL3 {
 		h.l3.flushAll()
 	}
-	h.lastLine = 0
+	h.streamValid = false
 }
 
 // L3Size returns the configured L3 capacity in bytes, which experiments use

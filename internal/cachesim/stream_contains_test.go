@@ -1,0 +1,84 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStreamDetectionFlushReset pins the post-flush charge: a sequential
+// DRAM stream earns the StreamFillCy discount before a Flush, and the
+// first fill after the flush — even if it exactly continues the old
+// stream — pays full DRAM latency again (cold caches have no prefetch
+// stream in flight; PR 7 crash-recovery flushes rely on this).
+func TestStreamDetectionFlushReset(t *testing.T) {
+	cfg := equivalenceConfig()
+	h := New(cfg)
+	const base = 1 << 20
+	if _, c := h.Access(base); c != cfg.DRAMLatencyCy {
+		t.Fatalf("first fill: cost %v, want full DRAM %v", c, cfg.DRAMLatencyCy)
+	}
+	if _, c := h.Access(base + LineSize); c != cfg.StreamFillCy {
+		t.Fatalf("pre-flush stream fill: cost %v, want stream %v", c, cfg.StreamFillCy)
+	}
+	h.Flush()
+	if _, c := h.Access(base + 2*LineSize); c != cfg.DRAMLatencyCy {
+		t.Fatalf("post-flush continuation: cost %v, want full DRAM %v (stream must not survive Flush)", c, cfg.DRAMLatencyCy)
+	}
+	if _, c := h.Access(base + 3*LineSize); c != cfg.StreamFillCy {
+		t.Fatalf("post-flush second fill: cost %v, want stream %v", c, cfg.StreamFillCy)
+	}
+}
+
+// TestStreamDetectionLineZero pins the sentinel fix: the old lastLine
+// encoding used 0 for "no previous fill", so a legitimate fill of line 0
+// was forgotten and the following line-1 fill wrongly paid full DRAM
+// latency. With validity tracked explicitly, a fill of line 0 starts a
+// stream like any other line.
+func TestStreamDetectionLineZero(t *testing.T) {
+	cfg := equivalenceConfig()
+	h := New(cfg)
+	if _, c := h.Access(0); c != cfg.DRAMLatencyCy {
+		t.Fatalf("line-0 fill: cost %v, want full DRAM %v", c, cfg.DRAMLatencyCy)
+	}
+	if _, c := h.Access(LineSize); c != cfg.StreamFillCy {
+		t.Fatalf("line-1 fill after line-0: cost %v, want stream %v (line-0 must start a stream)", c, cfg.StreamFillCy)
+	}
+}
+
+// TestContainsDoesNotPerturbEvictions interleaves Contains probes into a
+// randomized access stream and asserts the eviction sequence — observed
+// through per-access hit levels, costs, stats, and final residency — is
+// identical to the same stream without the probes. A probe that restamped
+// a way would promote it and change a later eviction.
+func TestContainsDoesNotPerturbEvictions(t *testing.T) {
+	cfg := equivalenceConfig()
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		universe := make([]uint64, 256)
+		for i := range universe {
+			universe[i] = uint64(1+rng.Intn(1024)) * LineSize
+		}
+		probed, clean := New(cfg), New(cfg)
+		for step := 0; step < 10000; step++ {
+			addr := universe[rng.Intn(len(universe))]
+			// Probe a batch of addresses on one hierarchy only.
+			for k := 0; k < 3; k++ {
+				probed.Contains(universe[rng.Intn(len(universe))])
+			}
+			pl, pc := probed.Access(addr)
+			cl, cc := clean.Access(addr)
+			if pl != cl || pc != cc {
+				t.Fatalf("seed %d step %d: Access(%#x) with probes (%v, %v), without (%v, %v)",
+					seed, step, addr, pl, pc, cl, cc)
+			}
+		}
+		if probed.Stats() != clean.Stats() {
+			t.Fatalf("seed %d: stats diverged: probed %v, clean %v", seed, probed.Stats(), clean.Stats())
+		}
+		for _, addr := range universe {
+			if p, c := probed.Contains(addr), clean.Contains(addr); p != c {
+				t.Fatalf("seed %d: residency diverged at %#x: probed %v, clean %v", seed, addr, p, c)
+			}
+		}
+	}
+}

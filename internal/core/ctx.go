@@ -48,6 +48,34 @@ type Ctx struct {
 	// Fallbacks counts fields demoted from zero-copy to copy by the
 	// HighWater check.
 	Fallbacks uint64
+
+	// msgPool recycles Message structs per schema: Release parks a
+	// terminally-released message here and NewMessage/Deserialize reuse it,
+	// field-value capacity included — the request loop's Messages stop
+	// hitting the heap once the pool reaches steady state. A Ctx belongs to
+	// one simulated core (single goroutine), so the pool needs no locking.
+	msgPool map[*Schema][]*Message
+}
+
+// getMsg pops a pooled message for schema, or returns nil.
+func (c *Ctx) getMsg(schema *Schema) *Message {
+	pool := c.msgPool[schema]
+	k := len(pool)
+	if k == 0 {
+		return nil
+	}
+	m := pool[k-1]
+	pool[k-1] = nil
+	c.msgPool[schema] = pool[:k-1]
+	return m
+}
+
+// putMsg parks a released message for reuse.
+func (c *Ctx) putMsg(m *Message) {
+	if c.msgPool == nil {
+		c.msgPool = make(map[*Schema][]*Message)
+	}
+	c.msgPool[m.schema] = append(c.msgPool[m.schema], m)
 }
 
 // NewCtx builds a context with the default 512-byte threshold.

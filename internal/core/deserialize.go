@@ -44,7 +44,21 @@ func (c *Ctx) deserializeView(schema *Schema, buf *mem.Buf, obj []byte, simBase 
 	// The parse touches the bitmap and entry lines of this header.
 	meter.Access(simBase+uint64(base), hdr.Len())
 
-	m := &Message{schema: schema, ctx: c, recv: true, rhdr: hdr, rsim: simBase}
+	m := c.getMsg(schema)
+	if m == nil {
+		m = &Message{schema: schema, ctx: c}
+	} else {
+		m.pooled = false
+		m.rbuf = nil
+		if m.vals != nil {
+			// The pooled struct last served send-mode; its values were
+			// cleared at Release, so the slice can be carried dormant.
+			for i := range m.vals {
+				m.vals[i].clear()
+			}
+		}
+	}
+	m.recv, m.rhdr, m.rsim = true, hdr, simBase
 	for i, f := range schema.Fields {
 		if !hdr.Present(i) {
 			continue
@@ -79,9 +93,13 @@ func (c *Ctx) deserializeView(schema *Schema, buf *mem.Buf, obj []byte, simBase 
 			}
 		case KindNested:
 			off, _ := hdr.Ptr(i)
-			if _, err := c.deserializeView(f.Nested, buf, obj, simBase, int(off)); err != nil {
+			sub, err := c.deserializeView(f.Nested, buf, obj, simBase, int(off))
+			if err != nil {
 				return nil, fmt.Errorf("field %s.%s: %w", schema.Name, f.Name, err)
 			}
+			// The view existed only to validate; park it so recursive
+			// validation cycles the pool instead of draining it.
+			sub.park()
 		case KindNestedList:
 			off, count := hdr.Ptr(i)
 			lt, err := wire.NewListTable(obj, int(off), int(count))
@@ -91,9 +109,11 @@ func (c *Ctx) deserializeView(schema *Schema, buf *mem.Buf, obj []byte, simBase 
 			meter.Access(simBase+uint64(off), int(count)*wire.EntrySize)
 			for j := 0; j < lt.Count(); j++ {
 				eOff, _ := lt.ElemPtr(j)
-				if _, err := c.deserializeView(f.Nested, buf, obj, simBase, int(eOff)); err != nil {
+				sub, err := c.deserializeView(f.Nested, buf, obj, simBase, int(eOff))
+				if err != nil {
 					return nil, fmt.Errorf("field %s.%s[%d]: %w", schema.Name, f.Name, j, err)
 				}
+				sub.park()
 			}
 		}
 	}
@@ -109,7 +129,7 @@ func (m *Message) mustRecv() {
 // Has reports whether field i is present in the received message.
 func (m *Message) Has(i int) bool {
 	m.mustRecv()
-	m.field(i, m.schema.Fields[i].Kind)
+	m.field(i, 1<<m.schema.Fields[i].Kind)
 	return m.rhdr.Present(i)
 }
 
@@ -117,7 +137,7 @@ func (m *Message) Has(i int) bool {
 // semantics).
 func (m *Message) GetInt(i int) uint64 {
 	m.mustRecv()
-	m.field(i, KindInt)
+	m.field(i, 1<<KindInt)
 	if !m.rhdr.Present(i) {
 		return 0
 	}
@@ -128,7 +148,7 @@ func (m *Message) GetInt(i int) uint64 {
 // The view is valid while the root message holds the receive buffer.
 func (m *Message) GetBytes(i int) []byte {
 	m.mustRecv()
-	m.field(i, KindBytes)
+	m.field(i, 1<<KindBytes)
 	if !m.rhdr.Present(i) {
 		return nil
 	}
@@ -140,7 +160,7 @@ func (m *Message) GetBytes(i int) []byte {
 // deferred UTF-8 validation (charged per byte).
 func (m *Message) GetString(i int) (string, error) {
 	m.mustRecv()
-	m.field(i, KindString)
+	m.field(i, 1<<KindString)
 	if !m.rhdr.Present(i) {
 		return "", nil
 	}
@@ -151,7 +171,7 @@ func (m *Message) GetString(i int) (string, error) {
 // ListLen returns the element count of a repeated field (0 when absent).
 func (m *Message) ListLen(i int) int {
 	m.mustRecv()
-	m.field(i, KindIntList, KindBytesList, KindStringList, KindNestedList)
+	m.field(i, 1<<KindIntList|1<<KindBytesList|1<<KindStringList|1<<KindNestedList)
 	if !m.rhdr.Present(i) {
 		return 0
 	}
@@ -162,7 +182,7 @@ func (m *Message) ListLen(i int) int {
 // GetIntElem reads element j of a repeated integer field.
 func (m *Message) GetIntElem(i, j int) uint64 {
 	m.mustRecv()
-	m.field(i, KindIntList)
+	m.field(i, 1<<KindIntList)
 	return m.listTable(i).ElemInt(j)
 }
 
@@ -170,7 +190,7 @@ func (m *Message) GetIntElem(i, j int) uint64 {
 // field.
 func (m *Message) GetBytesElem(i, j int) []byte {
 	m.mustRecv()
-	m.field(i, KindBytesList)
+	m.field(i, 1<<KindBytesList)
 	off, n := m.listTable(i).ElemPtr(j)
 	return m.rhdr.Object()[off : off+n : off+n]
 }
@@ -179,7 +199,7 @@ func (m *Message) GetBytesElem(i, j int) []byte {
 // UTF-8 validation.
 func (m *Message) GetStringElem(i, j int) (string, error) {
 	m.mustRecv()
-	m.field(i, KindStringList)
+	m.field(i, 1<<KindStringList)
 	off, n := m.listTable(i).ElemPtr(j)
 	return m.validateString(int(off), int(n))
 }
@@ -188,7 +208,7 @@ func (m *Message) GetStringElem(i, j int) (string, error) {
 // absent). The view shares the root's receive buffer.
 func (m *Message) GetNested(i int) *Message {
 	m.mustRecv()
-	f := m.field(i, KindNested)
+	f := m.field(i, 1<<KindNested)
 	if !m.rhdr.Present(i) {
 		return nil
 	}
@@ -200,7 +220,7 @@ func (m *Message) GetNested(i int) *Message {
 // field.
 func (m *Message) GetNestedElem(i, j int) *Message {
 	m.mustRecv()
-	f := m.field(i, KindNestedList)
+	f := m.field(i, 1<<KindNestedList)
 	eOff, _ := m.listTable(i).ElemPtr(j)
 	return m.nestedView(f.Nested, int(eOff))
 }

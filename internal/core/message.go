@@ -53,6 +53,19 @@ type fieldVal struct {
 	msgs []*Message
 }
 
+// clear empties the value but keeps the slice capacity, so a reused
+// message's repeated fields append without reallocating. The element clears
+// drop the buffer and sub-message references a parked value must not pin.
+func (v *fieldVal) clear() {
+	clear(v.ptrs)
+	clear(v.msgs)
+	v.ptrs = v.ptrs[:0]
+	v.ints = v.ints[:0]
+	v.msgs = v.msgs[:0]
+	v.set = false
+	v.i = 0
+}
+
 // Message is the dynamic (runtime-schema) Cornflakes object. A Message is
 // either send-mode (built with setters, then passed to SendObject) or
 // recv-mode (returned by Deserialize, read with getters); the two modes
@@ -69,10 +82,25 @@ type Message struct {
 	rbuf *mem.Buf // nil for nested views, which share the root's buffer
 	rhdr wire.Header
 	rsim uint64 // simulated address of the object's first byte
+
+	// pooled marks a message parked in its Ctx's pool; it guards against a
+	// double Release double-parking the same struct.
+	pooled bool
 }
 
-// NewMessage returns an empty send-mode message.
+// NewMessage returns an empty send-mode message, reusing a pooled struct
+// from the Ctx when one is available.
 func NewMessage(schema *Schema, ctx *Ctx) *Message {
+	if m := ctx.getMsg(schema); m != nil {
+		m.pooled = false
+		m.recv = false
+		m.rbuf, m.rhdr, m.rsim = nil, wire.Header{}, 0
+		if m.vals == nil {
+			// The pooled struct served a recv view before; give it send state.
+			m.vals = make([]fieldVal, len(schema.Fields))
+		}
+		return m
+	}
 	return &Message{schema: schema, ctx: ctx, vals: make([]fieldVal, len(schema.Fields))}
 }
 
@@ -82,15 +110,32 @@ func (m *Message) Schema() *Schema { return m.schema }
 // IsRecv reports whether the message is a received (read-only) view.
 func (m *Message) IsRecv() bool { return m.recv }
 
-func (m *Message) field(i int, want ...FieldKind) *Field {
+// kindSet is a bitmask of acceptable FieldKinds. field takes a mask rather
+// than a variadic list: the variadic slice escaped to the heap through the
+// panic path's Sprintf, putting one allocation on every getter and setter —
+// the hottest calls in the library.
+type kindSet uint32
+
+func (s kindSet) String() string {
+	out := ""
+	for k := FieldKind(0); k < 32; k++ {
+		if s&(1<<k) != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += k.String()
+		}
+	}
+	return out
+}
+
+func (m *Message) field(i int, want kindSet) *Field {
 	if i < 0 || i >= len(m.schema.Fields) {
 		panic(fmt.Sprintf("core: field %d out of range in %s", i, m.schema.Name))
 	}
 	f := &m.schema.Fields[i]
-	for _, k := range want {
-		if f.Kind == k {
-			return f
-		}
+	if want&(1<<f.Kind) != 0 {
+		return f
 	}
 	panic(fmt.Sprintf("core: field %s.%s has kind %v, not %v", m.schema.Name, f.Name, f.Kind, want))
 }
@@ -104,7 +149,7 @@ func (m *Message) mustSend() {
 // SetInt sets an integer field.
 func (m *Message) SetInt(i int, v uint64) {
 	m.mustSend()
-	m.field(i, KindInt)
+	m.field(i, 1<<KindInt)
 	m.vals[i].set = true
 	m.vals[i].i = v
 }
@@ -112,7 +157,7 @@ func (m *Message) SetInt(i int, v uint64) {
 // SetBytes sets a bytes field.
 func (m *Message) SetBytes(i int, p CFPtr) {
 	m.mustSend()
-	m.field(i, KindBytes)
+	m.field(i, 1<<KindBytes)
 	m.vals[i].set = true
 	m.vals[i].ptrs = append(m.vals[i].ptrs[:0], p)
 }
@@ -120,7 +165,7 @@ func (m *Message) SetBytes(i int, p CFPtr) {
 // SetString sets a string field.
 func (m *Message) SetString(i int, p CFPtr) {
 	m.mustSend()
-	m.field(i, KindString)
+	m.field(i, 1<<KindString)
 	m.vals[i].set = true
 	m.vals[i].ptrs = append(m.vals[i].ptrs[:0], p)
 }
@@ -128,7 +173,7 @@ func (m *Message) SetString(i int, p CFPtr) {
 // AppendBytes appends to a repeated bytes field.
 func (m *Message) AppendBytes(i int, p CFPtr) {
 	m.mustSend()
-	m.field(i, KindBytesList)
+	m.field(i, 1<<KindBytesList)
 	m.vals[i].set = true
 	m.vals[i].ptrs = append(m.vals[i].ptrs, p)
 }
@@ -136,7 +181,7 @@ func (m *Message) AppendBytes(i int, p CFPtr) {
 // AppendString appends to a repeated string field.
 func (m *Message) AppendString(i int, p CFPtr) {
 	m.mustSend()
-	m.field(i, KindStringList)
+	m.field(i, 1<<KindStringList)
 	m.vals[i].set = true
 	m.vals[i].ptrs = append(m.vals[i].ptrs, p)
 }
@@ -144,7 +189,7 @@ func (m *Message) AppendString(i int, p CFPtr) {
 // AppendInt appends to a repeated integer field.
 func (m *Message) AppendInt(i int, v uint64) {
 	m.mustSend()
-	m.field(i, KindIntList)
+	m.field(i, 1<<KindIntList)
 	m.vals[i].set = true
 	m.vals[i].ints = append(m.vals[i].ints, v)
 }
@@ -153,7 +198,7 @@ func (m *Message) AppendInt(i int, v uint64) {
 // field's nested schema.
 func (m *Message) SetNested(i int, sub *Message) {
 	m.mustSend()
-	f := m.field(i, KindNested)
+	f := m.field(i, 1<<KindNested)
 	if sub.schema != f.Nested {
 		panic(fmt.Sprintf("core: nested message schema %s, want %s", sub.schema.Name, f.Nested.Name))
 	}
@@ -164,7 +209,7 @@ func (m *Message) SetNested(i int, sub *Message) {
 // AppendNested appends to a repeated nested field.
 func (m *Message) AppendNested(i int, sub *Message) {
 	m.mustSend()
-	f := m.field(i, KindNestedList)
+	f := m.field(i, 1<<KindNestedList)
 	if sub.schema != f.Nested {
 		panic(fmt.Sprintf("core: nested message schema %s, want %s", sub.schema.Name, f.Nested.Name))
 	}
@@ -389,13 +434,28 @@ func (m *Message) Release() {
 			m.ctx.Meter.MetadataAccess(m.rbuf.RefcountSimAddr())
 			m.rbuf.DecRef()
 			m.rbuf = nil
+			// Only the root pinned view is parked: its Release is the
+			// terminal event of the request's decode. Nested and unpinned
+			// views have no-op Releases and stay heap-managed.
+			m.park()
 		}
 		return
 	}
 	m.walkPtrs(func(p CFPtr) { p.Release(m.ctx.Meter) })
 	for i := range m.vals {
-		m.vals[i] = fieldVal{}
+		m.vals[i].clear()
 	}
+	m.park()
+}
+
+// park returns the message to its Ctx's pool, once.
+func (m *Message) park() {
+	if m.pooled {
+		return
+	}
+	m.pooled = true
+	m.rhdr = wire.Header{} // drop the view into the received bytes
+	m.ctx.putMsg(m)
 }
 
 // Reset clears all send-side state without releasing references (for reuse
@@ -403,7 +463,7 @@ func (m *Message) Release() {
 func (m *Message) Reset() {
 	m.mustSend()
 	for i := range m.vals {
-		m.vals[i] = fieldVal{}
+		m.vals[i].clear()
 	}
 }
 

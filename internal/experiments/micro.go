@@ -63,7 +63,76 @@ type microServer struct {
 	mode    microMode
 	segSize int
 	count   int // buffers per request
+
+	// Per-core completion releasers (see microSafeRel/microCopyRel) and the
+	// serve-path scratch. The engine is serial, and serve runs to completion
+	// inside one core job, so one scratch per server never aliases; the NIC
+	// copies the gather list at post time.
+	safeRels []microSafeRel
+	copyRels []microCopyRel
+	segs     []*mem.Buf
+	entries  []nic.SGEntry
+	jobPool  []*microJob
 }
+
+// microJob is a pooled serve request: onFrame fills one in and submits its
+// pre-bound run closure, so the steady-state dispatch path allocates
+// nothing per frame.
+type microJob struct {
+	s            *microServer
+	m            *costmodel.Meter
+	shard, start int
+	id           uint64
+	run          func() sim.Time
+}
+
+func (j *microJob) exec() sim.Time {
+	j.s.serve(j.m, j.shard, j.start, j.id)
+	t := j.m.DrainTime()
+	j.s.jobPool = append(j.s.jobPool, j)
+	return t
+}
+
+func (s *microServer) getJob() *microJob {
+	if k := len(s.jobPool); k > 0 {
+		j := s.jobPool[k-1]
+		s.jobPool = s.jobPool[:k-1]
+		return j
+	}
+	j := &microJob{s: s}
+	j.run = j.exec
+	return j
+}
+
+// microSafeRel is the DMA-completion hook of the safe scatter-gather mode:
+// completion charge, refcount metadata access, decref — on the owning
+// core's meter (§2.3).
+type microSafeRel struct{ m *costmodel.Meter }
+
+func (r *microSafeRel) ReleaseSG(arg any) {
+	b := arg.(*mem.Buf)
+	r.m.Charge(r.m.CPU.CompletionCy)
+	r.m.MetadataAccess(b.RefcountSimAddr())
+	b.DecRef()
+}
+
+// microCopyRel is the copy mode's completion hook: the completion charge
+// without safety metadata (there is no shared buffer to protect).
+type microCopyRel struct{ m *costmodel.Meter }
+
+func (r *microCopyRel) ReleaseSG(arg any) {
+	b := arg.(*mem.Buf)
+	r.m.Charge(r.m.CPU.CompletionCy)
+	b.DecRef()
+}
+
+// microRawRel drops the in-flight reference with no charges: the raw
+// scatter-gather upper bound (§2.4) pays for nothing it can avoid.
+type microRawRel struct{}
+
+func (microRawRel) ReleaseSG(arg any) { arg.(*mem.Buf).DecRef() }
+
+var microRaw microRawRel
 
 // request layout (UDP payload): u64 id | u32 shard | u32 start.
 const microReqLen = 16
@@ -86,6 +155,11 @@ func newMicroServer(eng *sim.Engine, port *nic.Port, nCores int, mode microMode,
 		core.MaxQueue = 1024
 		s.cores = append(s.cores, core)
 	}
+	for i := 0; i < nCores; i++ {
+		s.safeRels = append(s.safeRels, microSafeRel{m: s.meters[i]})
+		s.copyRels = append(s.copyRels, microCopyRel{m: s.meters[i]})
+	}
+	s.segs = make([]*mem.Buf, count)
 	perShard := workingSet / nCores / segSize
 	if perShard < count {
 		perShard = count
@@ -115,12 +189,10 @@ func (s *microServer) onFrame(f *nic.Frame) {
 	id := wire.GetU64(req)
 	shard := int(wire.GetU32(req[8:])) % len(s.shards)
 	start := int(wire.GetU32(req[12:])) % len(s.shards[shard])
-	m := s.meters[shard]
-	core := s.cores[shard]
-	core.Submit(sim.Job{Run: func() sim.Time {
-		s.serve(m, shard, start, id)
-		return m.DrainTime()
-	}})
+	j := s.getJob()
+	j.m = s.meters[shard]
+	j.shard, j.start, j.id = shard, start, id
+	s.cores[shard].Submit(sim.Job{Run: j.run})
 }
 
 // serve builds and posts the response, charging the owning core's meter.
@@ -129,7 +201,7 @@ func (s *microServer) serve(m *costmodel.Meter, shard, start int, id uint64) {
 	cpu := m.CPU
 	m.Charge(cpu.RxPacketCy)
 	bufs := s.shards[shard]
-	segs := make([]*mem.Buf, s.count)
+	segs := s.segs
 	for i := range segs {
 		segs[i] = bufs[(start+i)%len(bufs)]
 	}
@@ -147,10 +219,12 @@ func (s *microServer) serve(m *costmodel.Meter, shard, start int, id uint64) {
 			cur += b.Len()
 		}
 		m.Charge(cpu.TxDescCy)
-		s.port.Send([]nic.SGEntry{{
+		s.entries = append(s.entries[:0], nic.SGEntry{
 			Data: out.Bytes(), Sim: out.SimAddr(),
-			Release: func() { m.Charge(cpu.CompletionCy); out.DecRef() },
-		}})
+			Rel:    &s.copyRels[shard],
+			RelArg: out,
+		})
+		s.port.Send(s.entries)
 		return
 	}
 
@@ -158,32 +232,27 @@ func (s *microServer) serve(m *costmodel.Meter, shard, start int, id uint64) {
 	m.Charge(cpu.DMABufAllocCy + cpu.PktHeaderCy)
 	m.Access(hdr.SimAddr(), netstack.PacketHeaderLen)
 	wire.PutU64(hdr.Bytes()[netstack.PacketHeaderLen:], id)
-	entries := make([]nic.SGEntry, 0, 1+len(segs))
-	entries = append(entries, nic.SGEntry{
+	entries := append(s.entries[:0], nic.SGEntry{
 		Data: hdr.Bytes(), Sim: hdr.SimAddr(),
-		Release: func() { hdr.DecRef() },
+		Rel: microRaw, RelArg: hdr,
 	})
 	m.Charge(cpu.TxDescCy)
 	for _, b := range segs {
 		b.IncRef() // the NIC's in-flight reference
-		bb := b
 		m.SGPost()
-		e := nic.SGEntry{Data: b.Bytes(), Sim: b.SimAddr()}
+		e := nic.SGEntry{Data: b.Bytes(), Sim: b.SimAddr(), RelArg: b}
 		if s.mode == microSGSafe {
 			// Memory transparency + safety: pinned-range lookup, refcount
 			// update now and at completion (§2.3).
 			m.Charge(cpu.RegistryLookupCy)
 			m.MetadataAccess(b.RefcountSimAddr())
-			e.Release = func() {
-				m.Charge(cpu.CompletionCy)
-				m.MetadataAccess(bb.RefcountSimAddr())
-				bb.DecRef()
-			}
+			e.Rel = &s.safeRels[shard]
 		} else {
-			e.Release = func() { bb.DecRef() } // raw: physics only, no charges
+			e.Rel = microRaw // raw: physics only, no charges
 		}
 		entries = append(entries, e)
 	}
+	s.entries = entries[:0]
 	if err := s.port.Send(entries); err != nil {
 		panic(fmt.Sprintf("microbench: %v", err))
 	}
@@ -193,12 +262,16 @@ func (s *microServer) serve(m *costmodel.Meter, shard, start int, id uint64) {
 // are derived deterministically from the request id.
 type microClient struct {
 	shards, perShard int
+	// buf is the request scratch: the transport copies the payload into the
+	// DMA buffer before SendContiguous returns, so one buffer serves every
+	// request.
+	buf [microReqLen]byte
 }
 
 func (c *microClient) Steps(workloads.Request) int { return 1 }
 
 func (c *microClient) BuildStep(id uint64, _ workloads.Request, _ int) []byte {
-	b := make([]byte, microReqLen)
+	b := c.buf[:]
 	wire.PutU64(b, id)
 	h := splitmix(id)
 	wire.PutU32(b[8:], uint32(h%uint64(c.shards)))

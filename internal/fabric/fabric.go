@@ -168,6 +168,9 @@ func (s *Switch) PlugInOn(epEng *sim.Engine, prof nic.Profile, propagation sim.T
 	ep, sw := nic.LinkOn(epEng, s.eng, prof, s.cfg.Port, propagation)
 	p := &swPort{addr: addr, link: sw}
 	sw.SetHandler(func(f *nic.Frame) { s.ingress(p, f) })
+	// The switch queues f.Data for egress (store-and-forward); the sending
+	// NIC must not recycle delivered frame buffers.
+	sw.RetainsRx = true
 	sw.Observer = func(rec nic.TxRecord) { s.egressDone(p, rec) }
 	s.ports = append(s.ports, p)
 	s.byAddr[addr] = p

@@ -255,6 +255,25 @@ type Runner struct {
 	flows     map[uint64]*flow
 	respBytes uint64
 	horizon   sim.Time
+	// flowPool recycles flow structs whose request reached a terminal
+	// outcome (completed, shed, or timed out with no retries left). Every
+	// terminal path cancels the flow's timers and unregisters its wire ids
+	// first, so a parked flow has no live references.
+	flowPool []*flow
+}
+
+func (ru *Runner) getFlow() *flow {
+	if k := len(ru.flowPool); k > 0 {
+		f := ru.flowPool[k-1]
+		ru.flowPool = ru.flowPool[:k-1]
+		return f
+	}
+	return &flow{}
+}
+
+func (ru *Runner) putFlow(f *flow) {
+	*f = flow{}
+	ru.flowPool = append(ru.flowPool, f)
 }
 
 // Run executes one open-loop run and returns the measured result.
@@ -391,6 +410,7 @@ func Start(cfg Config) *Runner {
 						res.TimedOut++
 					}
 					cfg.Tracer.EndFlow(f.tr, eng.Now(), trace.OutcomeTimedOut)
+					ru.putFlow(f)
 					return
 				}
 				// Capped exponential backoff plus jitter of up to half the
@@ -459,6 +479,7 @@ func Start(cfg Config) *Runner {
 					res.Shed++
 				}
 				cfg.Tracer.EndFlow(f.tr, now, trace.OutcomeShed)
+				ru.putFlow(f)
 				return
 			}
 		}
@@ -514,6 +535,7 @@ func Start(cfg Config) *Runner {
 			}
 		}
 		cfg.Tracer.EndFlow(f.tr, now, trace.OutcomeCompleted)
+		ru.putFlow(f)
 	})
 
 	var arrive func()
@@ -523,7 +545,8 @@ func Start(cfg Config) *Runner {
 			return
 		}
 		req := cfg.Gen.Next(r)
-		f := &flow{req: req, start: now, measured: now >= cfg.Warmup}
+		f := ru.getFlow()
+		f.req, f.start, f.measured = req, now, now >= cfg.Warmup
 		if f.measured {
 			res.Sent++
 		}

@@ -63,7 +63,7 @@ type slab struct {
 	refcnts    []int32
 	free       []int32 // free slot indices (LIFO)
 	class      *sizeClass
-	owner      *Stats // the owning allocator's counters
+	alloc      *Allocator // owning allocator (stats + Buf free list)
 }
 
 type sizeClass struct {
@@ -103,6 +103,14 @@ type Allocator struct {
 	// ErrNoMem at the bound instead of growing a new slab. Zero means
 	// unbounded (the pre-overload-hardening behaviour).
 	capSlots int64
+	// bufFree recycles Buf view structs: a view whose final reference is
+	// dropped (refcount reaches zero) parks here and the next
+	// TryAlloc/RecoverPtr/SubView reuses it instead of allocating. Views
+	// whose DecRef was not the last reference are NOT recycled — another
+	// holder may still alias the struct. The allocator is single-goroutine
+	// by contract, so a plain slice suffices. Parked views have slab nil,
+	// so a (contract-violating) use after the final DecRef fails fast.
+	bufFree []*Buf
 }
 
 // SimDataBase and SimMetaBase separate the simulated address ranges for
@@ -243,12 +251,20 @@ func (a *Allocator) TryAlloc(size int) (*Buf, error) {
 	if a.stats.SlotsInUse > a.stats.PeakSlotsInUse {
 		a.stats.PeakSlotsInUse = a.stats.SlotsInUse
 	}
-	return &Buf{
-		slab: s,
-		slot: slot,
-		off:  int(slot) * s.slotSize,
-		n:    size,
-	}, nil
+	return a.getBuf(s, slot, int(slot)*s.slotSize, size), nil
+}
+
+// getBuf takes a Buf view struct off the free list (or allocates one) and
+// points it at the given slot view.
+func (a *Allocator) getBuf(s *slab, slot int32, off, n int) *Buf {
+	if k := len(a.bufFree); k > 0 {
+		b := a.bufFree[k-1]
+		a.bufFree[k-1] = nil
+		a.bufFree = a.bufFree[:k-1]
+		b.slab, b.slot, b.off, b.n = s, slot, off, n
+		return b
+	}
+	return &Buf{slab: s, slot: slot, off: off, n: n}
 }
 
 func (a *Allocator) newSlab(sc *sizeClass) *slab {
@@ -268,7 +284,7 @@ func (a *Allocator) newSlab(sc *sizeClass) *slab {
 		refcnts:    make([]int32, slots),
 		free:       make([]int32, 0, slots),
 		class:      sc,
-		owner:      &a.stats,
+		alloc:      a,
 	}
 	a.simCursor += uint64(len(data))
 	// Pad the sim range so distinct slabs never share a modelled line.
@@ -340,7 +356,7 @@ func (a *Allocator) RecoverPtr(p []byte) (*Buf, bool) {
 	}
 	s.refcnts[slot]++
 	a.stats.RecoverHits++
-	return &Buf{slab: s, slot: slot, off: off, n: len(p)}, true
+	return a.getBuf(s, slot, off, len(p)), true
 }
 
 // IsPinned reports whether p lies entirely within one live pinned
@@ -449,10 +465,15 @@ func (b *Buf) DecRef() {
 		if len(s.free) == 1 {
 			s.class.partial = append(s.class.partial, s)
 		}
-		// Allocator-level stats live on the slab's owner; reach it through
-		// the class chain kept on the slab.
-		statsOwner(s).Frees++
-		statsOwner(s).SlotsInUse--
+		st := statsOwner(s)
+		st.Frees++
+		st.SlotsInUse--
+		// The final reference is gone: no live holder may touch this view
+		// again, so the struct itself recycles through the allocator's Buf
+		// free list. slab nil-s out so a stale use panics instead of
+		// silently reading whatever allocation reuses the struct.
+		b.slab = nil
+		s.alloc.bufFree = append(s.alloc.bufFree, b)
 	}
 }
 
@@ -463,7 +484,7 @@ func (b *Buf) SubView(off, n int) *Buf {
 		panic(fmt.Sprintf("mem: SubView(%d, %d) out of range of %d-byte view", off, n, b.n))
 	}
 	b.IncRef()
-	return &Buf{slab: b.slab, slot: b.slot, off: b.off + off, n: n}
+	return b.slab.alloc.getBuf(b.slab, b.slot, b.off+off, n)
 }
 
 // Resize shrinks or grows the view in place within the slot's capacity.
@@ -476,7 +497,5 @@ func (b *Buf) Resize(n int) {
 	b.n = n
 }
 
-// statsOwner walks back to the Allocator stats through the slab. Each slab
-// keeps a pointer to its owner's stats via the package-level registry; to
-// avoid a cyclic structure we store the owner directly.
-func statsOwner(s *slab) *Stats { return s.owner }
+// statsOwner walks back to the Allocator stats through the slab.
+func statsOwner(s *slab) *Stats { return &s.alloc.stats }

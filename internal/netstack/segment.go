@@ -138,7 +138,7 @@ func (s *Segmenter) SendObjectSegmented(obj core.Obj) error {
 		m.Access(head.SimAddr()+PacketHeaderLen, FragHeaderLen)
 
 		entries := []nic.SGEntry{{
-			Data: head.Bytes(), Sim: head.SimAddr(), Release: s.U.releaseBuf(head),
+			Data: head.Bytes(), Sim: head.SimAddr(), Rel: s.U, RelArg: head,
 		}}
 		for budget > 0 {
 			p := pieces[pieceIdx].buf
@@ -156,7 +156,7 @@ func (s *Segmenter) SendObjectSegmented(obj core.Obj) error {
 				m.MetadataAccess(p.RefcountSimAddr())
 			}
 			entries = append(entries, nic.SGEntry{
-				Data: view.Bytes(), Sim: view.SimAddr(), Release: s.U.releaseBuf(view),
+				Data: view.Bytes(), Sim: view.SimAddr(), Rel: s.U, RelArg: view,
 			})
 			budget -= n
 			pieceOff += n
@@ -196,9 +196,10 @@ func (s *Segmenter) SendContiguous(payload []byte, sim uint64) error {
 	m.Copy(sim, buf.SimAddr()+PacketHeaderLen+FragHeaderLen, len(payload))
 	copy(buf.Bytes()[PacketHeaderLen+FragHeaderLen:], payload)
 	s.TxFragments++
-	return s.U.post([]nic.SGEntry{{
-		Data: buf.Bytes(), Sim: buf.SimAddr(), Release: s.U.releaseBuf(buf),
-	}})
+	s.U.txEntries = append(s.U.txEntries[:0], nic.SGEntry{
+		Data: buf.Bytes(), Sim: buf.SimAddr(), Rel: s.U, RelArg: buf,
+	})
+	return s.U.post(s.U.txEntries)
 }
 
 // onPayload reassembles fragments and passes complete objects up.

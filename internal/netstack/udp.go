@@ -88,12 +88,22 @@ type UDP struct {
 	// keeps the full legacy RxPacketCy per frame.
 	RxBatched bool
 
-	// txOpen/txBatch implement TX batching: between BeginTxBatch and
-	// FlushTx, post() queues gather lists here instead of handing each to
-	// the NIC, and FlushTx posts them all through Port.SendBatch under
-	// amortized doorbells.
+	// txOpen/txStore/txLens implement TX batching: between BeginTxBatch and
+	// FlushTx, post() copies gather lists into the flat txStore (frame i
+	// owns txLens[i] consecutive entries) instead of handing each to the
+	// NIC, and FlushTx posts them all through Port.SendBatch under
+	// amortized doorbells. The flat store means queued frames never alias
+	// the caller's (reused) entry scratch, and the batch costs zero
+	// allocations once the store has grown to the burst high-water mark.
 	txOpen  bool
-	txBatch [][]nic.SGEntry
+	txStore []nic.SGEntry
+	txLens  []int
+	// txFrames is FlushTx's scratch for the per-frame subslice headers
+	// SendBatch consumes; txEntries is the gather-list scratch the send
+	// paths build each frame in (safe to reuse: the NIC copies the list at
+	// post time, and batched posts copy it into txStore).
+	txFrames  [][]nic.SGEntry
+	txEntries []nic.SGEntry
 
 	// Stats.
 	TxPackets, RxPackets uint64
@@ -222,7 +232,8 @@ func (u *UDP) post(entries []nic.SGEntry) error {
 		// frame fails its own post instead of poisoning the whole flush.
 		err = &nic.ErrTooManyEntries{Entries: len(entries), Max: u.Port.Profile().MaxSGEntries}
 	case u.txOpen:
-		u.txBatch = append(u.txBatch, entries)
+		u.txStore = append(u.txStore, entries...)
+		u.txLens = append(u.txLens, len(entries))
 		return nil
 	default:
 		err = u.Port.Send(entries)
@@ -232,17 +243,27 @@ func (u *UDP) post(entries []nic.SGEntry) error {
 		// hooks pay belong to the transmit attempt, not to whatever category
 		// the serializer happened to leave active.
 		prev := m.SetCategory(costmodel.CatTx)
-		for _, e := range entries {
-			if e.Release != nil {
-				e.Release()
-			}
-		}
+		fireReleases(entries)
 		m.SetCategory(prev)
 		return err
 	}
 	u.TxPackets++
 	u.TxZCEntries += uint64(len(entries) - 1)
 	return nil
+}
+
+// fireReleases runs every completion hook of a gather list that will never
+// reach the NIC — the unwind path of a refused or failed post.
+func fireReleases(entries []nic.SGEntry) {
+	for i := range entries {
+		e := &entries[i]
+		if e.Release != nil {
+			e.Release()
+		}
+		if e.Rel != nil {
+			e.Rel.ReleaseSG(e.RelArg)
+		}
+	}
 }
 
 // BeginTxBatch opens a TX batch: subsequent post()s queue their gather
@@ -258,12 +279,19 @@ func (u *UDP) BeginTxBatch() { u.txOpen = true }
 // frames already posted stay posted.
 func (u *UDP) FlushTx() error {
 	u.txOpen = false
-	if len(u.txBatch) == 0 {
+	if len(u.txLens) == 0 {
 		return nil
 	}
 	m := u.Meter
-	frames := u.txBatch
-	u.txBatch = u.txBatch[:0]
+	// Rebuild the per-frame views over the flat store. The subslice headers
+	// live in the reused txFrames scratch; the store itself is stable for
+	// the duration of the flush (nothing appends mid-SendBatch).
+	frames := u.txFrames[:0]
+	off := 0
+	for _, n := range u.txLens {
+		frames = append(frames, u.txStore[off:off+n:off+n])
+		off += n
+	}
 	burst := u.Port.Profile().MaxTxBurst
 	if burst < 1 {
 		burst = 1
@@ -279,28 +307,41 @@ func (u *UDP) FlushTx() error {
 		prev := m.SetCategory(costmodel.CatTx)
 		for _, f := range frames[posted:] {
 			u.TxFlushErrs++
-			for _, e := range f {
-				if e.Release != nil {
-					e.Release()
-				}
-			}
+			fireReleases(f)
 		}
 		m.SetCategory(prev)
-		return err
 	}
-	return nil
+	// Drop the stored buffer references so the scratch arrays do not pin
+	// DMA buffers past the flush.
+	clear(u.txStore)
+	u.txStore = u.txStore[:0]
+	u.txLens = u.txLens[:0]
+	clear(frames)
+	u.txFrames = frames[:0]
+	return err
 }
 
-// releaseBuf returns a completion hook that pays the completion cost and
-// drops the buffer reference when the NIC finishes reading it.
-func (u *UDP) releaseBuf(buf *mem.Buf) func() {
+// ReleaseSG implements nic.SGReleaser: the NIC calls it at DMA completion
+// for every entry posted with Rel=u, RelArg=buf. It pays the completion
+// cost and drops the buffer reference — the same hook releaseBuf used to
+// close over, without the per-entry closure allocation (a *mem.Buf in an
+// `any` is a plain pointer store).
+func (u *UDP) ReleaseSG(arg any) {
+	buf := arg.(*mem.Buf)
 	m := u.Meter
-	return func() {
-		m.Charge(m.CPU.CompletionCy)
-		m.MetadataAccess(buf.RefcountSimAddr())
-		buf.DecRef()
-	}
+	m.Charge(m.CPU.CompletionCy)
+	m.MetadataAccess(buf.RefcountSimAddr())
+	buf.DecRef()
 }
+
+// rawReleaser drops a buffer reference with no metered cost: the prebuilt
+// fast path amortizes its completion share up front, and the raw
+// scatter-gather upper bound (§2.4) charges no bookkeeping at all.
+type rawReleaser struct{}
+
+func (rawReleaser) ReleaseSG(arg any) { arg.(*mem.Buf).DecRef() }
+
+var rawRel rawReleaser
 
 // SendObject is the combined serialize-and-send path (§3.2.3): the packet
 // header, object header and copied fields share the first scatter-gather
@@ -332,11 +373,11 @@ func (u *UDP) SendObject(obj core.Obj) error {
 		cur += len(data)
 	})
 
-	entries := make([]nic.SGEntry, 0, 1+l.NumZC)
-	entries = append(entries, nic.SGEntry{
-		Data:    first.Bytes(),
-		Sim:     first.SimAddr(),
-		Release: u.releaseBuf(first),
+	entries := append(u.txEntries[:0], nic.SGEntry{
+		Data:   first.Bytes(),
+		Sim:    first.SimAddr(),
+		Rel:    u,
+		RelArg: first,
 	})
 	// Entries available for zero-copy data after the header entry; when the
 	// object exceeds the hardware limit, reserve one slot for the
@@ -355,9 +396,10 @@ func (u *UDP) SendObject(obj core.Obj) error {
 			m.MetadataAccess(buf.RefcountSimAddr())
 			buf.IncRef()
 			entries = append(entries, nic.SGEntry{
-				Data:    buf.Bytes(),
-				Sim:     buf.SimAddr(),
-				Release: u.releaseBuf(buf),
+				Data:   buf.Bytes(),
+				Sim:    buf.SimAddr(),
+				Rel:    u,
+				RelArg: buf,
 			})
 		} else {
 			overflow = append(overflow, buf)
@@ -378,12 +420,9 @@ func (u *UDP) SendObject(obj core.Obj) error {
 			// the unwind is billed to the transmit attempt.
 			u.TxNoMem++
 			prev := m.SetCategory(costmodel.CatTx)
-			for _, e := range entries {
-				if e.Release != nil {
-					e.Release()
-				}
-			}
+			fireReleases(entries)
 			m.SetCategory(prev)
+			u.txEntries = entries[:0]
 			return err
 		}
 		m.Charge(m.CPU.DMABufAllocCy)
@@ -394,11 +433,13 @@ func (u *UDP) SendObject(obj core.Obj) error {
 			cur += b.Len()
 		}
 		entries = append(entries, nic.SGEntry{
-			Data:    ext.Bytes(),
-			Sim:     ext.SimAddr(),
-			Release: u.releaseBuf(ext),
+			Data:   ext.Bytes(),
+			Sim:    ext.SimAddr(),
+			Rel:    u,
+			RelArg: ext,
 		})
 	}
+	u.txEntries = entries[:0]
 	return u.post(entries)
 }
 
@@ -455,28 +496,26 @@ func (u *UDP) SendObjectViaSGArray(obj core.Obj) error {
 		}
 		return err
 	}
-	entries := make([]nic.SGEntry, 0, 1+len(arr))
-	entries = append(entries, nic.SGEntry{
-		Data:    hdrBuf.Bytes(),
-		Sim:     hdrBuf.SimAddr(),
-		Release: u.releaseBuf(hdrBuf),
+	entries := append(u.txEntries[:0], nic.SGEntry{
+		Data:   hdrBuf.Bytes(),
+		Sim:    hdrBuf.SimAddr(),
+		Rel:    u,
+		RelArg: hdrBuf,
 	})
 	for i := range arr {
 		e := arr[i]
 		m.Charge(5) // per-element transform while re-walking the array
 		entries = append(entries, nic.SGEntry{
-			Data:    e.data,
-			Sim:     e.sim,
-			Release: u.releaseBuf(e.buf),
+			Data:   e.data,
+			Sim:    e.sim,
+			Rel:    u,
+			RelArg: e.buf,
 		})
 	}
 	m.Access(mem.UnpinnedSimAddr(objBuf.Bytes()), len(arr)*24) // array touch
+	u.txEntries = entries[:0]
 	if len(entries) > u.Port.Profile().MaxSGEntries {
-		for _, e := range entries {
-			if e.Release != nil {
-				e.Release()
-			}
-		}
+		fireReleases(entries)
 		return &nic.ErrTooManyEntries{Entries: len(entries), Max: u.Port.Profile().MaxSGEntries}
 	}
 	return u.post(entries)
@@ -513,10 +552,11 @@ func (u *UDP) SendPrebuilt(payload []byte, sim uint64) error {
 	m.Charge((m.CPU.DMABufAllocCy + m.CPU.TxDescCy + m.CPU.CompletionCy) / prebuiltBatch)
 	m.Copy(sim, buf.SimAddr()+PacketHeaderLen, len(payload))
 	copy(buf.Bytes()[PacketHeaderLen:], payload)
-	err = u.Port.Send([]nic.SGEntry{{
-		Data: buf.Bytes(), Sim: buf.SimAddr(),
-		Release: func() { buf.DecRef() }, // completion cost amortized above
-	}})
+	// Completion cost amortized above, so the raw (uncharged) releaser.
+	u.txEntries = append(u.txEntries[:0], nic.SGEntry{
+		Data: buf.Bytes(), Sim: buf.SimAddr(), Rel: rawRel, RelArg: buf,
+	})
+	err = u.Port.Send(u.txEntries)
 	if err != nil {
 		buf.DecRef()
 		return err
@@ -535,7 +575,8 @@ func (u *UDP) SendContiguous(payload []byte, sim uint64) error {
 	}
 	u.Meter.Copy(sim, buf.SimAddr()+PacketHeaderLen, len(payload))
 	copy(buf.Bytes()[PacketHeaderLen:], payload)
-	return u.post([]nic.SGEntry{{Data: buf.Bytes(), Sim: buf.SimAddr(), Release: u.releaseBuf(buf)}})
+	u.txEntries = append(u.txEntries[:0], nic.SGEntry{Data: buf.Bytes(), Sim: buf.SimAddr(), Rel: u, RelArg: buf})
+	return u.post(u.txEntries)
 }
 
 // SendWith allocates a DMA buffer of the given payload size and lets fill
@@ -551,7 +592,8 @@ func (u *UDP) SendWith(size int, fill func(dst []byte, dstSim uint64) int) error
 	if n < size {
 		buf.Resize(PacketHeaderLen + n)
 	}
-	return u.post([]nic.SGEntry{{Data: buf.Bytes(), Sim: buf.SimAddr(), Release: u.releaseBuf(buf)}})
+	u.txEntries = append(u.txEntries[:0], nic.SGEntry{Data: buf.Bytes(), Sim: buf.SimAddr(), Rel: u, RelArg: buf})
+	return u.post(u.txEntries)
 }
 
 // SendSegments copies a list of segments into one DMA buffer (the Cap'n
@@ -572,7 +614,8 @@ func (u *UDP) SendSegments(segs [][]byte, sims []uint64) error {
 		copy(buf.Bytes()[cur:], s)
 		cur += len(s)
 	}
-	return u.post([]nic.SGEntry{{Data: buf.Bytes(), Sim: buf.SimAddr(), Release: u.releaseBuf(buf)}})
+	u.txEntries = append(u.txEntries[:0], nic.SGEntry{Data: buf.Bytes(), Sim: buf.SimAddr(), Rel: u, RelArg: buf})
+	return u.post(u.txEntries)
 }
 
 // SendPinned transmits pinned buffers zero-copy, one SG entry each, after a
@@ -588,20 +631,20 @@ func (u *UDP) SendPinned(bufs []*mem.Buf, safe bool) error {
 	if err != nil {
 		return err
 	}
-	entries := make([]nic.SGEntry, 0, 1+len(bufs))
-	entries = append(entries, nic.SGEntry{Data: hdrBuf.Bytes(), Sim: hdrBuf.SimAddr(), Release: u.releaseBuf(hdrBuf)})
+	entries := append(u.txEntries[:0],
+		nic.SGEntry{Data: hdrBuf.Bytes(), Sim: hdrBuf.SimAddr(), Rel: u, RelArg: hdrBuf})
 	for _, b := range bufs {
-		e := nic.SGEntry{Data: b.Bytes(), Sim: b.SimAddr()}
+		e := nic.SGEntry{Data: b.Bytes(), Sim: b.SimAddr(), RelArg: b}
 		b.IncRef()
 		if safe {
 			m.Charge(m.CPU.RegistryLookupCy)
 			m.MetadataAccess(b.RefcountSimAddr())
-			e.Release = u.releaseBuf(b)
+			e.Rel = u
 		} else {
-			buf := b
-			e.Release = func() { buf.DecRef() } // uncharged: raw upper bound
+			e.Rel = rawRel // uncharged: raw upper bound
 		}
 		entries = append(entries, e)
 	}
+	u.txEntries = entries[:0]
 	return u.post(entries)
 }

@@ -118,6 +118,15 @@ func IntelE810() Profile {
 	}
 }
 
+// SGReleaser is the allocation-free variant of an entry's Release hook: a
+// long-lived implementor (the UDP endpoint, a server's per-mode releaser)
+// receives the entry's RelArg back at DMA-completion time. Passing a
+// pointer through the arg interface does not allocate, unlike binding a
+// fresh Release closure per entry.
+type SGReleaser interface {
+	ReleaseSG(arg any)
+}
+
 // SGEntry is one element of a transmit gather list.
 type SGEntry struct {
 	// Data is the real bytes the NIC will place in the frame.
@@ -130,6 +139,13 @@ type SGEntry struct {
 	// this entry. The networking stack uses it to drop its buffer
 	// reference (use-after-free protection).
 	Release func()
+	// Rel/RelArg are the pooled-path equivalent: if Rel is non-nil,
+	// Rel.ReleaseSG(RelArg) runs at DMA completion (after Release, when
+	// both are set). Hot paths prefer this pair — the implementor is
+	// long-lived and RelArg is a pointer, so posting an entry allocates
+	// nothing.
+	Rel    SGReleaser
+	RelArg any
 }
 
 // Frame is a received packet.
@@ -140,7 +156,9 @@ type Frame struct {
 	SentAt sim.Time
 }
 
-// Handler consumes received frames.
+// Handler consumes received frames. The *Frame is only valid for the
+// duration of the call (it may be pooled); handlers keep Data — which
+// remains theirs — not the Frame itself.
 type Handler func(*Frame)
 
 // Delivery describes one copy of an intercepted frame to put on the wire.
@@ -183,7 +201,8 @@ type TxRecord struct {
 	Posted, DMADone, TxDone, DeliverAt sim.Time
 	// Bytes and Entries describe the frame; Data is the assembled frame
 	// contents (read-only — the same backing array is delivered to the
-	// peer).
+	// peer, and may be recycled for a later frame once delivery completes,
+	// so observers must not retain it past the callback).
 	Bytes   int
 	Entries int
 	Data    []byte
@@ -260,6 +279,101 @@ type Port struct {
 	// chunk in SendBatch. The amortization the batched datapath buys is
 	// visible as TxDoorbells < TxFrames.
 	TxDoorbells uint64
+
+	// txPool and rxPool recycle the per-frame transmit and delivery state
+	// (each op carries its callback closure, bound once at creation, so a
+	// steady-state send schedules zero new closures). Both pools are only
+	// touched from this port's engine goroutine: tx ops live from post to
+	// DMA completion, and rx ops are used only on the same-engine delivery
+	// fast path (cross-shard deliveries fall back to a fresh closure — the
+	// pool must not be touched from the peer's shard).
+	txPool []*txOp
+	rxPool []*rxOp
+
+	// dataPool recycles assembled-frame buffers. A frame buffer is handed
+	// to the observer, the loss injector, and the peer's handler, none of
+	// which may keep it past the call; once the same-engine delivery
+	// returns (or the frame is dropped at the sender), the buffer goes
+	// back here. Deliveries that cross a shard boundary or pass through an
+	// interceptor are never recycled — their lifetime is not visible from
+	// this goroutine.
+	dataPool [][]byte
+
+	// RetainsRx marks that this port's handler legitimately keeps
+	// Frame.Data beyond the handler call — a store-and-forward switch
+	// queuing the frame for egress. Senders then leave delivered buffers
+	// to the garbage collector instead of recycling them.
+	RetainsRx bool
+}
+
+// getData returns a zero-length frame buffer with at least total capacity,
+// reusing a recycled one when it is big enough.
+func (p *Port) getData(total int) []byte {
+	if k := len(p.dataPool); k > 0 {
+		b := p.dataPool[k-1]
+		p.dataPool[k-1] = nil
+		p.dataPool = p.dataPool[:k-1]
+		if cap(b) >= total {
+			return b[:0]
+		}
+		// Too small for this frame: drop it; the pool converges to the
+		// run's largest frame size.
+	}
+	return make([]byte, 0, total)
+}
+
+func (p *Port) putData(b []byte) { p.dataPool = append(p.dataPool, b) }
+
+// txOp is the in-flight state of one posted frame between Send and DMA
+// completion. The gather list is copied in (callers may reuse their entry
+// slices immediately after posting).
+type txOp struct {
+	p       *Port
+	entries []SGEntry
+	total   int
+	sentAt  sim.Time
+	dmaDone sim.Time
+	txDone  sim.Time
+	run     func() // bound once: op.dmaComplete
+}
+
+// rxOp is the pooled delivery of one frame on the same-engine fast path.
+// The embedded Frame is handed to the receive handler by pointer and
+// reused afterwards (see Handler).
+type rxOp struct {
+	p     *Port // sending port: owns the pool, writes Delivered* stats
+	frame Frame
+	run   func() // bound once: op.deliver
+}
+
+func (p *Port) getTxOp() *txOp {
+	if n := len(p.txPool); n > 0 {
+		op := p.txPool[n-1]
+		p.txPool[n-1] = nil
+		p.txPool = p.txPool[:n-1]
+		return op
+	}
+	op := &txOp{p: p}
+	op.run = op.dmaComplete
+	return op
+}
+
+func (p *Port) recycleTxOp(op *txOp) {
+	clear(op.entries) // drop buffer and closure references promptly
+	op.entries = op.entries[:0]
+	p.txPool = append(p.txPool, op)
+}
+
+func (p *Port) getRxOp() *rxOp {
+	if n := len(p.rxPool); n > 0 {
+		op := p.rxPool[n-1]
+		p.rxPool[n-1] = nil
+		p.rxPool = p.rxPool[:n-1]
+		return op
+	}
+	op := &rxOp{p: p}
+	op.run = op.deliver
+	return op
 }
 
 // Link connects two new ports with the given profiles and one-way
@@ -400,93 +514,150 @@ func (p *Port) send(entries []SGEntry, doorbellNs float64) error {
 	txDone := txStart + wireTime
 	p.txFree = txDone
 
-	sentAt := now
-	ents := entries
-	p.eng.At(dmaDone, func() {
-		// Snapshot the frame exactly when the hardware has read it, then
-		// release the buffers.
-		data := make([]byte, 0, total)
-		for _, e := range ents {
-			data = append(data, e.Data...)
+	// Hand the frame to a pooled tx op. The gather list is copied at post
+	// time — consistent with hardware reading descriptors at the doorbell —
+	// so callers may reuse their entry slice (not the referenced Data)
+	// immediately after send returns.
+	op := p.getTxOp()
+	op.entries = append(op.entries[:0], entries...)
+	op.total = total
+	op.sentAt = now
+	op.dmaDone = dmaDone
+	op.txDone = txDone
+	p.eng.At(dmaDone, op.run)
+	return nil
+}
+
+// dmaComplete runs at DMA-completion time: snapshot the frame exactly when
+// the hardware has read it, release the buffers, then route the frame to
+// the wire (loss injection, interception) and schedule delivery.
+func (op *txOp) dmaComplete() {
+	p := op.p
+	data := p.getData(op.total)
+	for i := range op.entries {
+		data = append(data, op.entries[i].Data...)
+	}
+	for i := range op.entries {
+		e := &op.entries[i]
+		if e.Release != nil {
+			e.Release()
 		}
-		for _, e := range ents {
-			if e.Release != nil {
-				e.Release()
-			}
+		if e.Rel != nil {
+			e.Rel.ReleaseSG(e.RelArg)
 		}
-		observe := func(dropped bool) {
-			if p.Observer != nil {
-				p.Observer(TxRecord{
-					Posted: sentAt, DMADone: dmaDone, TxDone: txDone,
-					DeliverAt: txDone + p.propag,
-					Bytes:     total, Entries: len(ents), Data: data,
-					Dropped: dropped,
-				})
-			}
-		}
-		if p.InjectLoss != nil && p.InjectLoss(data) {
-			p.DroppedFrames++
-			observe(true)
-			return
-		}
-		peer := p.peer
-		arrive := func(frame []byte) {
-			p.DeliveredFrames++
-			p.DeliveredBytes += uint64(len(frame))
-			peer.RxFrames++
-			peer.RxBytes += uint64(len(frame))
-			if peer.handler != nil {
-				peer.handler(&Frame{Data: frame, SentAt: sentAt})
-			}
-		}
-		if p.Interceptor == nil {
-			observe(false)
-			// Delivery runs on the receiver's engine: with both ends on one
-			// engine this is exactly p.eng.At; across partitions it crosses
-			// into the peer shard's inbox. Either way the sender-side stats
-			// that arrive() bumps (DeliveredFrames/Bytes) are written only by
-			// the peer's shard, disjoint from the fields this closure writes.
-			peer.eng.AtFrom(p.eng, txDone+p.propag, func() { arrive(data) })
-			return
-		}
-		// The hardware computed the FCS over the pristine frame; each wire
-		// copy is re-checked on arrival so corruption injected by the
-		// interceptor is discarded by the receiving NIC.
-		fcs := frameFCS(data)
-		ds := p.Interceptor(data)
-		observe(len(ds) == 0)
-		if len(ds) == 0 {
-			p.DroppedFrames++
-			return
-		}
-		for di, d := range ds {
-			extra := d.Delay
-			if extra < 0 {
-				extra = 0
-			}
-			depart := txDone
-			if di > 0 {
-				// A duplicated copy is a real extra frame: it serializes
-				// on the wire after whatever the port has already queued,
-				// consuming link bandwidth like any other transmission.
-				// (Before this, extra copies departed at txDone without
-				// touching txFree — duplicates cost zero bandwidth and
-				// soak runs understated congestion.)
-				start := max(p.txFree, txDone)
-				p.txFree = start + wireTime
-				depart = p.txFree
-			}
-			frame := d.Data
-			peer.eng.AtFrom(p.eng, depart+p.propag+extra, func() {
-				if frameFCS(frame) != fcs {
-					peer.RxFCSErrors++
-					return
-				}
-				arrive(frame)
+	}
+	sentAt, dmaDone, txDone := op.sentAt, op.dmaDone, op.txDone
+	total, nEntries := op.total, len(op.entries)
+	// Everything the rest of the path needs is copied out; recycling here
+	// keeps the pool at max-in-flight size.
+	p.recycleTxOp(op)
+
+	observe := func(dropped bool) {
+		if p.Observer != nil {
+			p.Observer(TxRecord{
+				Posted: sentAt, DMADone: dmaDone, TxDone: txDone,
+				DeliverAt: txDone + p.propag,
+				Bytes:     total, Entries: nEntries, Data: data,
+				Dropped: dropped,
 			})
 		}
-	})
-	return nil
+	}
+	if p.InjectLoss != nil && p.InjectLoss(data) {
+		p.DroppedFrames++
+		observe(true)
+		p.putData(data)
+		return
+	}
+	peer := p.peer
+	if p.Interceptor == nil {
+		observe(false)
+		// Delivery runs on the receiver's engine. On the same engine the
+		// pooled rx op carries the frame with no new closure; across
+		// partitions it crosses into the peer shard's inbox as a fresh
+		// closure (the rx pool is single-goroutine and must not be recycled
+		// from the peer's shard). Either way the sender-side stats the
+		// delivery bumps (DeliveredFrames/Bytes) are written only by the
+		// peer's shard, disjoint from the fields this path writes.
+		if peer.eng == p.eng {
+			rop := p.getRxOp()
+			rop.frame = Frame{Data: data, SentAt: sentAt}
+			p.eng.At(txDone+p.propag, rop.run)
+		} else {
+			peer.eng.AtFrom(p.eng, txDone+p.propag, func() { p.arrive(data, sentAt) })
+		}
+		return
+	}
+	// The hardware computed the FCS over the pristine frame; each wire
+	// copy is re-checked on arrival so corruption injected by the
+	// interceptor is discarded by the receiving NIC. (Interception is the
+	// cold fault path; it keeps plain closures.)
+	fcs := frameFCS(data)
+	ds := p.Interceptor(data)
+	observe(len(ds) == 0)
+	if len(ds) == 0 {
+		p.DroppedFrames++
+		return
+	}
+	frameWire := sim.FromNanos(float64(total) * 8 / p.prof.LinkGbps)
+	for di, d := range ds {
+		extra := d.Delay
+		if extra < 0 {
+			extra = 0
+		}
+		depart := txDone
+		if di > 0 {
+			// A duplicated copy is a real extra frame: it serializes
+			// on the wire after whatever the port has already queued,
+			// consuming link bandwidth like any other transmission.
+			// (Before this, extra copies departed at txDone without
+			// touching txFree — duplicates cost zero bandwidth and
+			// soak runs understated congestion.)
+			start := max(p.txFree, txDone)
+			p.txFree = start + frameWire
+			depart = p.txFree
+		}
+		frame := d.Data
+		peer.eng.AtFrom(p.eng, depart+p.propag+extra, func() {
+			if frameFCS(frame) != fcs {
+				peer.RxFCSErrors++
+				return
+			}
+			p.arrive(frame, sentAt)
+		})
+	}
+}
+
+// arrive delivers one intact frame to the peer's handler, charging both
+// ends' delivery stats. It runs on the peer's engine.
+func (p *Port) arrive(frame []byte, sentAt sim.Time) {
+	peer := p.peer
+	p.DeliveredFrames++
+	p.DeliveredBytes += uint64(len(frame))
+	peer.RxFrames++
+	peer.RxBytes += uint64(len(frame))
+	if peer.handler != nil {
+		peer.handler(&Frame{Data: frame, SentAt: sentAt})
+	}
+}
+
+// deliver is the pooled same-engine delivery: identical to arrive but the
+// Frame struct is reused across deliveries.
+func (op *rxOp) deliver() {
+	p := op.p
+	peer := p.peer
+	p.DeliveredFrames++
+	p.DeliveredBytes += uint64(len(op.frame.Data))
+	peer.RxFrames++
+	peer.RxBytes += uint64(len(op.frame.Data))
+	data := op.frame.Data
+	if peer.handler != nil {
+		peer.handler(&op.frame)
+	}
+	if !peer.RetainsRx {
+		p.putData(data)
+	}
+	op.frame = Frame{}
+	p.rxPool = append(p.rxPool, op)
 }
 
 func max(a, b sim.Time) sim.Time {

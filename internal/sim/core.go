@@ -33,8 +33,13 @@ type queuedJob struct {
 // time, with overload visible as queue growth (rising tail latency) or RX
 // drops.
 type Core struct {
-	eng  *Engine
+	eng *Engine
+	// q[qh:] holds the waiting jobs: dispatch advances qh instead of
+	// shifting the slice (the shift made deep overload queues O(n²) — one
+	// typedslicecopy of the whole backlog per job served). Spent entries
+	// are zeroed as they are passed so the backing array pins nothing.
 	q    []queuedJob
+	qh   int
 	busy bool
 	// busySince marks the start of the current busy period; BusyTime only
 	// accumulates completed busy periods, so mid-period accounting comes
@@ -75,7 +80,7 @@ func NewCore(eng *Engine) *Core {
 
 // Submit enqueues a job. It reports false if the queue bound rejected it.
 func (c *Core) Submit(j Job) bool {
-	if c.MaxQueue > 0 && len(c.q) >= c.MaxQueue {
+	if c.MaxQueue > 0 && len(c.q)-c.qh >= c.MaxQueue {
 		c.Dropped++
 		return false
 	}
@@ -90,7 +95,7 @@ func (c *Core) Submit(j Job) bool {
 
 // QueueLen returns the number of jobs waiting (not including the one in
 // service).
-func (c *Core) QueueLen() int { return len(c.q) }
+func (c *Core) QueueLen() int { return len(c.q) - c.qh }
 
 // AccountWait records the queue wait of one request served inside a batch
 // job (submitted with ExternalWait): the time from the request's arrival to
@@ -138,17 +143,20 @@ func (c *Core) Utilization() float64 {
 }
 
 func (c *Core) dispatch() {
-	if len(c.q) == 0 {
-		// Busy period over: bank it.
+	if c.qh == len(c.q) {
+		// Busy period over: bank it and rewind the drained queue so the
+		// backing array is reused from the front.
+		c.q, c.qh = c.q[:0], 0
 		c.BusyTime += c.eng.Now() - c.busySince
 		c.busy = false
 		return
 	}
-	qj := c.q[0]
-	// Shift rather than reslice forever so the backing array is reused.
-	copy(c.q, c.q[1:])
-	c.q[len(c.q)-1] = queuedJob{}
-	c.q = c.q[:len(c.q)-1]
+	qj := c.q[c.qh]
+	c.q[c.qh] = queuedJob{}
+	c.qh++
+	if c.qh == len(c.q) {
+		c.q, c.qh = c.q[:0], 0
+	}
 
 	if !qj.job.ExternalWait {
 		wait := c.eng.Now() - qj.enq

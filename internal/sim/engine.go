@@ -76,13 +76,36 @@ type event struct {
 	seq     uint64
 	fn      func()
 	// index within the heap, maintained by heap.Interface methods so that
-	// cancellation can remove an event in O(log n).
+	// cancellation can remove an event in O(log n). Events parked on the
+	// ready ring instead of the heap use the negative sentinels below.
 	index int
 	// gen is bumped every time the event struct is recycled through the
 	// engine's free list, so a Timer holding a stale *event (one that fired
 	// or was cancelled, then reused for an unrelated callback) can detect
 	// the reuse and refuse to cancel someone else's event.
 	gen uint64
+}
+
+// index sentinels for events not resident in the heap.
+const (
+	idxFree          = -1 // recycled or fired; not queued anywhere
+	idxRing          = -2 // live on the ready ring
+	idxRingCancelled = -3 // cancelled while on the ring; recycled at dequeue
+)
+
+// eventLess is the four-part deterministic key ordering from the heap,
+// usable on any two events regardless of which structure holds them.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
 }
 
 type eventHeap []*event
@@ -137,6 +160,24 @@ type Engine struct {
 	// cancelled event returns here and the next At reuses it.
 	free []*event
 
+	// ready is the deferred-dispatch ring ahead of the heap: events
+	// scheduled at exactly Now() — the common After(0)/At(Now()) case, and
+	// by construction also the current heap minimum's timestamp whenever
+	// the heap holds same-instant work — are appended here in O(1) instead
+	// of paying a heap sift. Ring entries all carry (at=now, schedAt=now,
+	// src=rank) with strictly increasing seq, so the ring is always sorted
+	// by the four-part key, and the clock cannot advance past them (the
+	// dispatcher always fires the key-minimum of ring head vs heap min, and
+	// every ring entry's at equals the current clock). Cancellation leaves
+	// a tombstone (index = idxRingCancelled) that the dispatcher recycles
+	// at dequeue, since ring entries have no heap index to remove by.
+	ready     []*event
+	readyHead int
+	readyLive int
+	// noRing forces every event through the heap; test-only, for
+	// differencing ring dispatch against the heap-only reference order.
+	noRing bool
+
 	// Shard identity, zero-valued on a plain engine: rank orders this
 	// shard among its siblings (part of the deterministic event key) and
 	// owner points at the coordinating PartitionedEngine. The inbox
@@ -184,24 +225,37 @@ type Timer struct {
 // Cancel removes the pending event. It reports whether the event was still
 // pending (false when it already fired or was cancelled before).
 func (t Timer) Cancel() bool {
-	if t.ev == nil || t.ev.index < 0 || t.ev.gen != t.gen {
+	if t.ev == nil || t.ev.gen != t.gen {
 		return false
 	}
-	heap.Remove(&t.e.events, t.ev.index)
-	t.e.recycle(t.ev)
-	return true
+	switch {
+	case t.ev.index >= 0:
+		heap.Remove(&t.e.events, t.ev.index)
+		t.e.recycle(t.ev)
+		return true
+	case t.ev.index == idxRing:
+		// Ring entries have no heap index; tombstone in place and let the
+		// dispatcher recycle the struct when it reaches the ring head.
+		t.ev.index = idxRingCancelled
+		t.ev.fn = nil
+		t.e.readyLive--
+		return true
+	}
+	return false
 }
 
 // Pending reports whether the timer's event has not yet fired or been
 // cancelled.
-func (t Timer) Pending() bool { return t.ev != nil && t.ev.index >= 0 && t.ev.gen == t.gen }
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && (t.ev.index >= 0 || t.ev.index == idxRing)
+}
 
 // recycle returns a fired or cancelled event to the free list. Bumping gen
 // invalidates every Timer that still points at the struct; dropping fn
 // releases the closure (and whatever it captures) immediately instead of
 // pinning it until the struct is reused.
 func (e *Engine) recycle(ev *event) {
-	ev.index = -1
+	ev.index = idxFree
 	ev.gen++
 	ev.fn = nil
 	e.free = append(e.free, ev)
@@ -210,14 +264,90 @@ func (e *Engine) recycle(ev *event) {
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
 // it always indicates a modelling bug, and silently reordering time would
 // corrupt every downstream measurement.
+//
+// Scheduling at exactly the current time takes the ready-ring fast path:
+// the event's key (at=now, schedAt=now, src=rank, fresh seq) is strictly
+// greater than every ring entry already queued and orders against heap
+// events purely by the four-part key the dispatcher compares, so dispatch
+// order — and therefore every report — is identical to the heap-only path.
 func (e *Engine) At(at Time, fn func()) Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	ev := e.newEvent(at, e.now, e.rank, e.seq, fn)
 	e.seq++
-	heap.Push(&e.events, ev)
+	if at == e.now && !e.noRing {
+		ev.index = idxRing
+		e.ready = append(e.ready, ev)
+		e.readyLive++
+	} else {
+		heap.Push(&e.events, ev)
+	}
 	return Timer{e: e, ev: ev, gen: ev.gen}
+}
+
+// ringHead returns the first live ring entry, lazily recycling tombstones,
+// or nil when the ring is empty.
+func (e *Engine) ringHead() *event {
+	for e.readyHead < len(e.ready) {
+		ev := e.ready[e.readyHead]
+		if ev.index != idxRingCancelled {
+			return ev
+		}
+		e.ready[e.readyHead] = nil
+		e.readyHead++
+		e.recycle(ev)
+	}
+	e.ready = e.ready[:0]
+	e.readyHead = 0
+	return nil
+}
+
+// ringAdvance removes the current ring head (which the caller obtained from
+// ringHead).
+func (e *Engine) ringAdvance() {
+	e.ready[e.readyHead] = nil
+	e.readyHead++
+	e.readyLive--
+	if e.readyHead == len(e.ready) {
+		e.ready = e.ready[:0]
+		e.readyHead = 0
+	}
+}
+
+// peekNext returns the next event in deterministic key order across the
+// ready ring and the heap, without removing it. Nil when none are pending.
+func (e *Engine) peekNext() *event {
+	rev := e.ringHead()
+	if len(e.events) == 0 {
+		return rev
+	}
+	hev := e.events[0]
+	if rev == nil || eventLess(hev, rev) {
+		return hev
+	}
+	return rev
+}
+
+// popKnown removes ev, which the caller just obtained from peekNext.
+func (e *Engine) popKnown(ev *event) {
+	if ev.index >= 0 {
+		heap.Pop(&e.events)
+		return
+	}
+	e.ringAdvance()
+}
+
+// nextAt reports the timestamp of the next pending event, ring included.
+// Heap-peeking call sites (RunUntil, runWindow, the partitioned
+// coordinator's barrier scans) must use this instead of reading events[0]
+// directly.
+func (e *Engine) nextAt() (Time, bool) {
+	ev := e.peekNext()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
 }
 
 // newEvent takes an event struct off the free list (or allocates one) and
@@ -300,8 +430,12 @@ func (e *Engine) Stop() {
 // Run executes events in timestamp order until no events remain or Stop is
 // called. It returns the time of the last executed event.
 func (e *Engine) Run() Time {
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
+	for !e.stopped {
+		ev := e.peekNext()
+		if ev == nil {
+			break
+		}
+		e.popKnown(ev)
 		e.now = ev.at
 		e.processed++
 		fn := ev.fn
@@ -321,12 +455,12 @@ func (e *Engine) Run() Time {
 // the clock at the last executed event rather than jumping it to the
 // deadline.
 func (e *Engine) RunUntil(deadline Time) Time {
-	for len(e.events) > 0 && !e.stopped {
-		ev := e.events[0]
-		if ev.at > deadline {
+	for !e.stopped {
+		ev := e.peekNext()
+		if ev == nil || ev.at > deadline {
 			break
 		}
-		heap.Pop(&e.events)
+		e.popKnown(ev)
 		e.now = ev.at
 		e.processed++
 		fn := ev.fn
@@ -346,12 +480,12 @@ func (e *Engine) RunUntil(deadline Time) Time {
 // that no cross-shard event can still land inside [now, limit), so the
 // window is safe to execute without consulting any other shard.
 func (e *Engine) runWindow(limit Time) {
-	for len(e.events) > 0 && !e.stopped {
-		ev := e.events[0]
-		if ev.at >= limit {
+	for !e.stopped {
+		ev := e.peekNext()
+		if ev == nil || ev.at >= limit {
 			break
 		}
-		heap.Pop(&e.events)
+		e.popKnown(ev)
 		e.now = ev.at
 		e.processed++
 		fn := ev.fn
@@ -360,5 +494,6 @@ func (e *Engine) runWindow(limit Time) {
 	}
 }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of queued events (ring and heap; cancelled
+// ring tombstones are excluded).
+func (e *Engine) Pending() int { return len(e.events) + e.readyLive }

@@ -120,7 +120,7 @@ func (p *PartitionedEngine) RunUntil(deadline Time) Time { return p.run(deadline
 func (p *PartitionedEngine) Pending() int {
 	n := 0
 	for _, s := range p.shards {
-		n += len(s.events)
+		n += s.Pending()
 		s.inboxMu.Lock()
 		n += len(s.inbox)
 		s.inboxMu.Unlock()
@@ -176,8 +176,8 @@ func (p *PartitionedEngine) run(deadline Time, bounded bool) Time {
 		T := maxTime
 		for _, s := range p.shards {
 			s.drainInbox()
-			if len(s.events) > 0 && s.events[0].at < T {
-				T = s.events[0].at
+			if at, ok := s.nextAt(); ok && at < T {
+				T = at
 			}
 		}
 		if T == maxTime || (bounded && T > deadline) {
@@ -196,7 +196,7 @@ func (p *PartitionedEngine) run(deadline Time, bounded bool) Time {
 		}
 		active := p.active[:0]
 		for _, s := range p.shards {
-			if len(s.events) > 0 && s.events[0].at < limit {
+			if at, ok := s.nextAt(); ok && at < limit {
 				active = append(active, s)
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 )
 
 // Op enumerates the request types the key-value applications serve.
@@ -58,10 +59,23 @@ type Generator interface {
 }
 
 // key formats the canonical fixed-width key used by all workloads: the
-// paper's YCSB keys are 30–31 bytes, Google/CDN keys 64 bytes.
+// paper's YCSB keys are 30–31 bytes, Google/CDN keys 64 bytes. Formatted by
+// hand — one allocation, no fmt machinery — because preload emits one key
+// per record and the request path one per draw.
 func key(prefix string, width, i int) []byte {
-	s := fmt.Sprintf("%s%0*d", prefix, width-len(prefix), i)
-	return []byte(s)
+	b := make([]byte, width)
+	copy(b, prefix)
+	v := i
+	for j := width - 1; j >= len(prefix); j-- {
+		b[j] = byte('0' + v%10)
+		v /= 10
+	}
+	if v > 0 {
+		// The id overflows the digit field; defer to fmt's widening rather
+		// than silently truncating (no workload reaches this).
+		return []byte(fmt.Sprintf("%s%0*d", prefix, width-len(prefix), i))
+	}
+	return b
 }
 
 // --- YCSB (read-only, §5 and §6.1.4) ---
@@ -74,6 +88,8 @@ type YCSB struct {
 	SegmentSize int
 	NSegments   int
 	zipf        *Zipf
+	recOnce     sync.Once
+	records     []KV
 }
 
 // NewYCSB builds the workload. Key width is 30 bytes as in the paper.
@@ -97,7 +113,17 @@ func (y *YCSB) Name() string {
 	return fmt.Sprintf("ycsb-%dx%d", y.SegmentSize, y.NSegments)
 }
 
+// Records memoizes the preload set: capacity probes rebuild the testbed —
+// and re-preload — once per load point, and the record bytes are a pure
+// function of the workload parameters. Consumers copy values into pinned
+// store memory, so sharing one generation across probes is safe; sweep
+// points run on worker goroutines, hence the Once.
 func (y *YCSB) Records() []KV {
+	y.recOnce.Do(y.buildRecords)
+	return y.records
+}
+
+func (y *YCSB) buildRecords() {
 	recs := make([]KV, y.NKeys)
 	for i := range recs {
 		k := key("user", 30, i)
@@ -111,7 +137,7 @@ func (y *YCSB) Records() []KV {
 		}
 		recs[i] = KV{Key: k, Vals: vals}
 	}
-	return recs
+	y.records = recs
 }
 
 func (y *YCSB) Next(r *rand.Rand) Request {

@@ -18,24 +18,27 @@
 # Env knobs:
 #   BENCHTIME  go test -benchtime for the experiment passes (default 2x)
 #   OUT        output JSON path (default BENCH_<latest committed + 1>.json)
+#   PREV       previous record for the speedup_vs_prev columns (default
+#              BENCH_<latest committed>.json; set PREV= to skip)
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2x}"
 
+latest=0
+earliest=0
+for f in $(git ls-files 'BENCH_*.json'); do
+    idx="${f#BENCH_}"
+    idx="${idx%.json}"
+    case "$idx" in
+        *[!0-9]*|'') echo "bench.sh: unparseable bench record name: $f" >&2; exit 1 ;;
+    esac
+    idx=$((idx + 0))
+    if [ "$idx" -gt "$latest" ]; then latest="$idx"; fi
+    if [ "$earliest" -eq 0 ] || [ "$idx" -lt "$earliest" ]; then earliest="$idx"; fi
+done
+
 if [ -z "${OUT:-}" ]; then
-    latest=0
-    earliest=0
-    for f in $(git ls-files 'BENCH_*.json'); do
-        idx="${f#BENCH_}"
-        idx="${idx%.json}"
-        case "$idx" in
-            *[!0-9]*|'') echo "bench.sh: unparseable bench record name: $f" >&2; exit 1 ;;
-        esac
-        idx=$((idx + 0))
-        if [ "$idx" -gt "$latest" ]; then latest="$idx"; fi
-        if [ "$earliest" -eq 0 ] || [ "$idx" -lt "$earliest" ]; then earliest="$idx"; fi
-    done
     if [ "$latest" -eq 0 ]; then
         echo "bench.sh: no committed BENCH_*.json found; set OUT explicitly" >&2
         exit 1
@@ -54,6 +57,12 @@ if [ -z "${OUT:-}" ]; then
         i=$((i + 1))
     done
     OUT="BENCH_$((latest + 1)).json"
+fi
+
+# The previous committed record anchors the PR-over-PR speedup_vs_prev
+# columns; PREV= (explicitly empty) skips the comparison.
+if [ -z "${PREV+set}" ] && [ "$latest" -gt 0 ]; then
+    PREV="BENCH_$latest.json"
 fi
 
 mkdir -p artifacts
@@ -81,5 +90,6 @@ go run ./cmd/benchjson \
     -serial artifacts/bench-serial.txt \
     -parallel artifacts/bench-parallel.txt \
     -partitioned artifacts/bench-partitioned.txt \
+    ${PREV:+-prev "$PREV"} \
     -out "$OUT" \
-    -note "Quick scale; parallel pass uses GOMAXPROCS sweep workers and the partitioned pass runs per-node event-queue shards, so speedup_parallel and speedup_partitioned are ~1.0 on single-core hosts (see host_cores) and grow with cores; reports are byte-identical on both axes (fingerprint gates in scripts/check.sh)."
+    -note "Quick scale; parallel pass uses GOMAXPROCS sweep workers and the partitioned pass runs per-node event-queue shards, so speedup_parallel and speedup_partitioned are ~1.0 on single-core hosts (see host_cores) and grow with cores; reports are byte-identical on both axes (fingerprint gates in scripts/check.sh). speedup_vs_prev compares wall-clock against the previous committed record, which may have been taken on a different/differently-loaded host — read it alongside allocs_vs_prev, which is deterministic everywhere."

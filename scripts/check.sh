@@ -39,8 +39,8 @@ echo "== partitioned-engine race smoke (GOMAXPROCS=4 forces the shard worker poo
 GOMAXPROCS=4 go test -race ./internal/sim -run 'TestPartitioned|TestShardStop|TestSingleShard'
 GOMAXPROCS=4 go test -race -timeout 20m ./internal/experiments -run 'TestSerialPartitionedFingerprints'
 
-echo "== zero-alloc hot-path pins (DES engine, core, meter, cache fill)"
-go test ./internal/sim ./internal/costmodel -run 'AllocFree|TestTimerStaleAfterRecycle'
+echo "== zero-alloc hot-path pins (DES engine, core, meter, cache fill, frame path, range walk, message pool)"
+go test ./internal/sim ./internal/costmodel ./internal/nic ./internal/cachesim ./internal/core -run 'AllocFree|TestTimerStaleAfterRecycle'
 
 echo "== go test -race ./... (includes the parallel sweep smoke)"
 # The experiments package runs every reproduction at Quick scale; under the
